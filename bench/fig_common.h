@@ -1,0 +1,65 @@
+// Shared setup for the figure-reproduction benches: the paper's simulation
+// configuration (Sec. V-A) and a uniform report format.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include "sim/experiments.h"
+
+namespace mmw::bench {
+
+/// The paper's setup: TX 4×4 λ/2 UPA (M = 16), RX 8×8 λ/2 UPA (N = 64),
+/// angular-grid codebooks over a ±60°×±30° sector, T = 1024 beam pairs.
+inline sim::Scenario paper_scenario(sim::ChannelKind channel,
+                                    index_t trials = 25,
+                                    std::uint64_t seed = 2016) {
+  sim::Scenario sc;
+  sc.channel = channel;
+  sc.trials = trials;
+  sc.seed = seed;
+  return sc;
+}
+
+/// Search rates matching the span of the paper's Figs. 5–6 x-axes.
+inline std::vector<real> paper_search_rates() {
+  return {0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30, 0.35};
+}
+
+/// Target losses matching the span of the paper's Figs. 7–8 x-axes.
+inline std::vector<real> paper_target_losses() {
+  return {6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.5};
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("=== %s: %s ===\n", figure, description);
+  std::printf(
+      "setup: TX 4x4 UPA (M=16), RX 8x8 UPA (N=64), T=1024 pairs, "
+      "gamma=0 dB, 8 fades/measurement\n\n");
+}
+
+/// Writes a CSV artifact under bench_results/ (created on demand) so the
+/// figure data can be plotted without re-running the sweep. Failures are
+/// reported but non-fatal: the printed table remains the primary output.
+inline void write_artifact(const std::string& filename,
+                           const std::string& content) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) {
+    std::fprintf(stderr, "note: could not create bench_results/: %s\n",
+                 ec.message().c_str());
+    return;
+  }
+  const std::string path = "bench_results/" + filename;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    std::printf("(csv written to %s)\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "note: could not write %s\n", path.c_str());
+  }
+}
+
+}  // namespace mmw::bench

@@ -1,0 +1,106 @@
+// P1: micro-benchmarks of the numerical substrate (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "antenna/codebook.h"
+#include "antenna/steering.h"
+#include "estimation/covariance_ml.h"
+#include "linalg/decompositions.h"
+#include "linalg/eig.h"
+#include "linalg/functions.h"
+#include "randgen/rng.h"
+
+namespace {
+
+using namespace mmw;
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix random_hermitian(randgen::Rng& rng, index_t n) {
+  const Matrix g = rng.complex_gaussian_matrix(n, n);
+  return (g + g.adjoint()) * cx{0.5, 0.0};
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  randgen::Rng rng(1);
+  const Matrix a = rng.complex_gaussian_matrix(n, n);
+  const Matrix b = rng.complex_gaussian_matrix(n, n);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(16)->Arg(64);
+
+void BM_HermitianEig(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  randgen::Rng rng(2);
+  const Matrix a = random_hermitian(rng, n);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::hermitian_eig(a));
+}
+BENCHMARK(BM_HermitianEig)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_HermitianEigQl(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  randgen::Rng rng(2);
+  const Matrix a = random_hermitian(rng, n);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::hermitian_eig_ql(a));
+}
+BENCHMARK(BM_HermitianEigQl)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_Svd(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  randgen::Rng rng(3);
+  const Matrix a = rng.complex_gaussian_matrix(n, n);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::svd(a));
+}
+BENCHMARK(BM_Svd)->Arg(8)->Arg(16);
+
+void BM_Cholesky(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  randgen::Rng rng(4);
+  const Matrix g = rng.complex_gaussian_matrix(n, n);
+  const Matrix a = g * g.adjoint() + Matrix::identity(n) * cx{0.1, 0.0};
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::cholesky(a));
+}
+BENCHMARK(BM_Cholesky)->Arg(16)->Arg(64);
+
+void BM_SteeringVector(benchmark::State& state) {
+  const auto upa = antenna::ArrayGeometry::upa(8, 8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(antenna::steering_vector(upa, {0.3, 0.1}));
+}
+BENCHMARK(BM_SteeringVector);
+
+void BM_CovarianceScores(benchmark::State& state) {
+  randgen::Rng rng(5);
+  const auto upa = antenna::ArrayGeometry::upa(8, 8);
+  const auto cb = antenna::Codebook::dft(upa);
+  const Matrix q = random_hermitian(rng, 64);
+  for (auto _ : state) benchmark::DoNotOptimize(cb.covariance_scores(q));
+}
+BENCHMARK(BM_CovarianceScores);
+
+void BM_CovarianceMlEstimate(benchmark::State& state) {
+  // The estimator as the alignment loop calls it: N = 64, J measurements
+  // (subspace-reduced to an r ≤ J problem internally).
+  const index_t j = static_cast<index_t>(state.range(0));
+  randgen::Rng rng(6);
+  const Vector x = rng.random_unit_vector(64);
+  const Matrix q = Matrix::outer(x, x) * cx{256.0, 0.0};
+  const Matrix root = linalg::hermitian_sqrt(q);
+  std::vector<estimation::BeamMeasurement> ms;
+  for (index_t k = 0; k < j; ++k) {
+    estimation::BeamMeasurement m;
+    m.beam = rng.random_unit_vector(64);
+    const Vector h = root * rng.complex_gaussian_vector(64);
+    m.energy = std::norm(linalg::dot(m.beam, h) + rng.complex_normal(0.01));
+    ms.push_back(std::move(m));
+  }
+  estimation::CovarianceMlOptions opts;
+  opts.gamma = 100.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(estimation::estimate_covariance_ml(64, ms, opts));
+}
+BENCHMARK(BM_CovarianceMlEstimate)->Arg(5)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

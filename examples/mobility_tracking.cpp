@@ -1,0 +1,107 @@
+// Beam tracking under mobility: the channel geometry drifts between frames
+// (the mobile moves, path angles rotate slowly), and the link must re-align
+// each frame. The paper's motivation for cheap alignment is exactly this —
+// "direction finding may need to be performed constantly before
+// transmissions".
+//
+// Compares the per-frame alignment cost of the proposed scheme against a
+// periodic exhaustive re-scan for the same achieved loss budget.
+//
+//   ./examples/mobility_tracking [frames] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "antenna/codebook.h"
+#include "channel/models.h"
+#include "core/oracle.h"
+#include "core/strategy.h"
+#include "mac/session.h"
+#include "sim/evaluation.h"
+
+int main(int argc, char** argv) {
+  using namespace mmw;
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 10;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 99;
+  randgen::Rng rng(seed);
+
+  const auto tx_array = antenna::ArrayGeometry::upa(4, 4);
+  const auto rx_array = antenna::ArrayGeometry::upa(8, 8);
+  const channel::AngularSector sector;
+  const auto tx_cb = antenna::Codebook::angular_grid(
+      tx_array, 4, 4, sector.az_min, sector.az_max, sector.el_min,
+      sector.el_max);
+  const auto rx_cb = antenna::Codebook::angular_grid(
+      rx_array, 8, 8, sector.az_min, sector.az_max, sector.el_min,
+      sector.el_max);
+  const index_t pairs = tx_cb.size() * rx_cb.size();
+
+  // Initial geometry: one dominant path plus a weak reflection.
+  channel::Path dominant{0.8,
+                         {rng.uniform(-0.5, 0.5), rng.uniform(-0.2, 0.2)},
+                         {rng.uniform(-0.5, 0.5), rng.uniform(-0.2, 0.2)}};
+  channel::Path reflection{0.2,
+                           {rng.uniform(-0.9, 0.9), rng.uniform(-0.3, 0.3)},
+                           {rng.uniform(-0.9, 0.9), rng.uniform(-0.3, 0.3)}};
+  const real drift = 0.02;  // ~1.1° of angular drift per frame
+
+  std::printf(
+      "tracking over %d frames, %.1f deg/frame AoA/AoD drift, target loss "
+      "2 dB\n",
+      frames, drift * 180 / M_PI);
+  std::printf("frame\tcold_meas\tcold_loss\twarm_meas\twarm_loss\n");
+
+  index_t total_cold = 0, total_warm = 0;
+  linalg::Matrix carried;  // covariance carried across frames (warm mode)
+  for (int f = 0; f < frames; ++f) {
+    const channel::Link link = channel::make_fixed_paths_link(
+        tx_array, rx_array, {dominant, reflection});
+    const core::PairGainOracle oracle(link, tx_cb, rx_cb);
+
+    // Each mode searches until its claimed pair is within 2 dB; the cost is
+    // how many pairs it needed (offline trajectory analysis). Both modes
+    // share one RNG stream per frame so the comparison is paired — the only
+    // difference is the carried covariance.
+    const randgen::Rng frame_rng = rng.fork();
+    auto align = [&](linalg::Matrix& state) {
+      randgen::Rng run_rng = frame_rng;
+      mac::Session session(link, tx_cb, rx_cb, 1.0, pairs, run_rng, 8);
+      core::ProposedAlignment().run_with_state(session, state);
+      const auto needed =
+          sim::measurements_to_reach(oracle, session.records(), 2.0);
+      const index_t cost = needed.value_or(pairs);
+      return std::pair{cost,
+                       sim::loss_after(oracle, session.records(), cost)};
+    };
+
+    linalg::Matrix cold_state;  // re-aligns from scratch every frame
+    const auto [cold_cost, cold_loss] = align(cold_state);
+    const auto [warm_cost, warm_loss] = align(carried);
+    total_cold += cold_cost;
+    total_warm += warm_cost;
+    std::printf("%d\t%zu\t%.2f\t%zu\t%.2f\n", f, cold_cost, cold_loss,
+                warm_cost, warm_loss);
+
+    // Drift the geometry for the next frame.
+    auto wiggle = [&](antenna::Direction& d) {
+      d.azimuth += rng.normal(0.0, drift);
+      d.elevation += rng.normal(0.0, drift / 2);
+    };
+    wiggle(dominant.aod);
+    wiggle(dominant.aoa);
+    wiggle(reflection.aod);
+    wiggle(reflection.aoa);
+  }
+  const index_t exhaustive = static_cast<index_t>(frames) * pairs;
+  std::printf(
+      "\ntotals: cold %zu vs warm %zu measurements; exhaustive re-scan "
+      "would cost %zu\n",
+      total_cold, total_warm, exhaustive);
+  std::printf(
+      "per-frame adaptive alignment is %.1fx cheaper than exhaustive "
+      "re-scanning;\nthe cross-frame covariance prior is roughly "
+      "cost-neutral at this drift rate\n(the TX beam order, which the "
+      "RX-side prior cannot improve, dominates the tail).\n",
+      static_cast<real>(exhaustive) / std::min(total_cold, total_warm));
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Sparse (compressed-sensing) channel estimation vs the paper's covariance
+// approach — a side-by-side of the two estimator families on the same
+// channel, highlighting the coherence assumption that separates them:
+//
+//  * OMP reconstructs H itself from PHASE-COHERENT probes (all measurements
+//    within one coherence interval) and pinpoints path angles;
+//  * the covariance estimator needs only ENERGIES and works when the
+//    channel refades between measurements (the paper's setting), at the
+//    price of recovering second-order structure only.
+//
+//   ./examples/sparse_channel_estimation [seed]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "channel/models.h"
+#include "estimation/compressed_sensing.h"
+#include "estimation/covariance_ml.h"
+#include "linalg/eig.h"
+#include "linalg/functions.h"
+
+int main(int argc, char** argv) {
+  using namespace mmw;
+  using linalg::Matrix;
+  using linalg::Vector;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+  randgen::Rng rng(seed);
+
+  const auto tx = antenna::ArrayGeometry::upa(4, 4);
+  const auto rx = antenna::ArrayGeometry::upa(8, 8);
+  const channel::AngularSector s;
+  const channel::Link link(
+      tx, rx,
+      {channel::Path{0.75, {0.42, -0.11}, {-0.29, 0.18}},
+       channel::Path{0.25, {-0.51, 0.22}, {0.63, -0.05}}});
+  const real gamma = 100.0;  // 20 dB pre-beamforming SNR
+  const index_t probes = 48;
+
+  std::printf("two-path channel: AoA az -16.6°/36.1°, 48 probes, 20 dB SNR\n\n");
+
+  // --- Coherent regime: OMP over a beamspace dictionary. ----------------
+  const Matrix h = link.draw_channel(rng);  // frozen for the burst
+  estimation::BeamspaceDictionary dict(tx, rx, 17, 9, 25, 13, s.az_min,
+                                       s.az_max, s.el_min, s.el_max);
+  std::vector<estimation::CoherentMeasurement> coherent;
+  for (index_t k = 0; k < probes; ++k) {
+    estimation::CoherentMeasurement m;
+    m.tx_beam = rng.random_unit_vector(16);
+    m.rx_beam = rng.random_unit_vector(64);
+    m.observation =
+        linalg::dot(m.rx_beam, h * m.tx_beam) + rng.complex_normal(1.0 / gamma);
+    coherent.push_back(std::move(m));
+  }
+  estimation::OmpOptions omp_opts;
+  omp_opts.max_atoms = 8;
+  const auto omp = estimation::omp_channel_estimate(dict, coherent, omp_opts);
+  const Matrix h_hat = estimation::synthesize_channel(dict, omp);
+  std::printf("OMP (coherent probes): %zu atoms, relative residual %.3f\n",
+              omp.atoms.size(), omp.relative_residual);
+  for (const auto& a : omp.atoms)
+    std::printf("  atom: AoD az %.1f° el %.1f° -> AoA az %.1f° el %.1f°, "
+                "|g|=%.2f\n",
+                dict.tx_direction(a.tx_index).azimuth * 180 / M_PI,
+                dict.tx_direction(a.tx_index).elevation * 180 / M_PI,
+                dict.rx_direction(a.rx_index).azimuth * 180 / M_PI,
+                dict.rx_direction(a.rx_index).elevation * 180 / M_PI,
+                std::abs(a.gain));
+  std::printf("channel reconstruction error: %.1f%%\n\n",
+              100.0 * (h_hat - h).frobenius_norm() / h.frobenius_norm());
+
+  // --- Fading regime: covariance estimation from energies only. --------
+  // Within a TX-slot the TX beam is fixed (here: pointed at the link), and
+  // the channel REFADES for every measurement — the paper's setting.
+  // Energy-only (phase-retrieval-like) identification of a 64-dim
+  // covariance needs ≳2N measurements, so sweep the probe count.
+  const Vector u_slot = link.tx_steering(0);
+  std::printf("covariance ML (energies under refading, 8 fades/slot):\n");
+  std::printf("probes\talignment_with_dominant_path\n");
+  for (const index_t count : {probes, index_t{128}, index_t{256}}) {
+    std::vector<estimation::BeamMeasurement> energies;
+    for (index_t k = 0; k < count; ++k) {
+      estimation::BeamMeasurement m;
+      m.beam = rng.random_unit_vector(64);
+      real energy = 0.0;
+      for (int f = 0; f < 8; ++f) {
+        const Vector heff = link.draw_effective_channel(u_slot, rng);
+        energy += std::norm(linalg::dot(m.beam, heff) +
+                            rng.complex_normal(1.0 / gamma));
+      }
+      m.energy = energy / 8.0;
+      energies.push_back(std::move(m));
+    }
+    estimation::CovarianceMlOptions cov_opts;
+    cov_opts.gamma = gamma;
+    const auto cov =
+        estimation::estimate_covariance_ml(64, energies, cov_opts);
+    const auto eig = linalg::hermitian_eig(cov.q);
+    std::printf("%zu\t%.2f\n", count,
+                std::abs(linalg::dot(eig.principal_eigenvector(),
+                                     link.rx_steering(0))));
+  }
+  std::printf(
+      "\nOMP pinpoints angles from few COHERENT probes; the paper's "
+      "energy-only estimator\nsurvives refading but needs ~2N random probes "
+      "for the same direction — which is\nexactly why the MAC scheme probes "
+      "adaptively instead of randomly.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Beam codebooks: finite sets of unit-norm beamforming vectors arranged on a
+// 2-D grid, with the spatial-adjacency structure the Scan baseline needs.
+#pragma once
+
+#include <vector>
+
+#include "antenna/geometry.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace mmw::antenna {
+
+/// A beam codebook: the finite sets U (TX) and V (RX) of the paper.
+///
+/// Codewords sit on a gx × gy grid (index = x·gy + y), which defines the
+/// "spatially adjacent" relation used by raster scanning. Two constructions:
+///
+///  - `dft(geometry)`: the orthonormal DFT codebook (the Kronecker product
+///    of per-axis DFT bases for a UPA). Spatial frequencies are circular, so
+///    grid adjacency wraps around.
+///  - `angular_grid(geometry, n_az, n_el, …)`: steering vectors on a uniform
+///    grid of physical angles (an oversampled codebook); no wraparound.
+class Codebook {
+ public:
+  static Codebook dft(const ArrayGeometry& geometry);
+
+  static Codebook angular_grid(const ArrayGeometry& geometry, index_t n_az,
+                               index_t n_el, real az_min = -M_PI / 2,
+                               real az_max = M_PI / 2,
+                               real el_min = -M_PI / 3,
+                               real el_max = M_PI / 3);
+
+  index_t size() const { return codewords_.size(); }
+  const linalg::Vector& codeword(index_t i) const { return codewords_[i]; }
+
+  index_t grid_x() const { return grid_x_; }
+  index_t grid_y() const { return grid_y_; }
+  bool wraps() const { return wraps_; }
+
+  /// Grid coordinates of codeword i.
+  std::pair<index_t, index_t> coordinates(index_t i) const;
+
+  /// 4-neighbourhood of codeword i on the grid (wrapping when wraps()).
+  std::vector<index_t> neighbors(index_t i) const;
+
+  /// Codeword index maximizing |c_iᴴ v| — the codebook quantization of an
+  /// arbitrary beamforming vector (used to map an eigen-beam into V).
+  index_t best_match(const linalg::Vector& v) const;
+
+  /// Codeword index maximizing the Rayleigh quotient c_iᴴ Q c_i (paper
+  /// eq. 26 restricted to the codebook).
+  index_t best_for_covariance(const linalg::Matrix& q) const;
+
+  /// Indices of the k codewords with the largest cᴴ Q c, descending
+  /// (paper §IV-B2, step 3). Precondition: k ≤ size().
+  std::vector<index_t> top_k_for_covariance(const linalg::Matrix& q,
+                                            index_t k) const;
+
+  /// Rayleigh quotients c_iᴴ Q c_i for every codeword.
+  std::vector<real> covariance_scores(const linalg::Matrix& q) const;
+
+  /// Boustrophedon (serpentine) visiting order of the grid: consecutive
+  /// entries are always grid-adjacent. Scan baselines walk this order.
+  std::vector<index_t> serpentine_order() const;
+
+  /// Hardware-constrained copy of this codebook: every codeword element is
+  /// forced to constant modulus 1/√N with its phase rounded to 2^bits
+  /// levels — the analog phase-shifter front end the paper's "low
+  /// complexity analog beamforming" assumes (Sec. III-A). Grid structure is
+  /// preserved. Precondition: 1 ≤ bits ≤ 16.
+  Codebook with_quantized_phases(index_t bits) const;
+
+ private:
+  Codebook(std::vector<linalg::Vector> codewords, index_t gx, index_t gy,
+           bool wraps)
+      : codewords_(std::move(codewords)),
+        grid_x_(gx),
+        grid_y_(gy),
+        wraps_(wraps) {}
+
+  std::vector<linalg::Vector> codewords_;
+  index_t grid_x_ = 0;
+  index_t grid_y_ = 0;
+  bool wraps_ = false;
+};
+
+}  // namespace mmw::antenna

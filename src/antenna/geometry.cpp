@@ -1,0 +1,27 @@
+#include "antenna/geometry.h"
+
+namespace mmw::antenna {
+
+ArrayGeometry ArrayGeometry::ula(index_t n, real spacing) {
+  MMW_REQUIRE_MSG(n > 0, "array needs at least one element");
+  MMW_REQUIRE_MSG(spacing > 0.0, "element spacing must be positive");
+  std::vector<Position> positions;
+  positions.reserve(n);
+  for (index_t i = 0; i < n; ++i)
+    positions.push_back({static_cast<real>(i) * spacing, 0.0, 0.0});
+  return ArrayGeometry(std::move(positions), n, 1);
+}
+
+ArrayGeometry ArrayGeometry::upa(index_t nx, index_t ny, real spacing) {
+  MMW_REQUIRE_MSG(nx > 0 && ny > 0, "array needs at least one element");
+  MMW_REQUIRE_MSG(spacing > 0.0, "element spacing must be positive");
+  std::vector<Position> positions;
+  positions.reserve(nx * ny);
+  for (index_t ix = 0; ix < nx; ++ix)
+    for (index_t iy = 0; iy < ny; ++iy)
+      positions.push_back({static_cast<real>(ix) * spacing,
+                           static_cast<real>(iy) * spacing, 0.0});
+  return ArrayGeometry(std::move(positions), nx, ny);
+}
+
+}  // namespace mmw::antenna

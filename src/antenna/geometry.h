@@ -1,0 +1,58 @@
+// Antenna array geometries: uniform linear and uniform planar arrays.
+#pragma once
+
+#include <vector>
+
+#include "linalg/common.h"
+
+namespace mmw::antenna {
+
+/// Physical propagation direction, radians, relative to the array's
+/// boresight (the normal of the array plane): azimuth tilts along the
+/// array's x-axis, elevation along its y-axis; (0, 0) is boresight.
+struct Direction {
+  real azimuth = 0.0;
+  real elevation = 0.0;
+};
+
+/// Element position in wavelength units.
+struct Position {
+  real x = 0.0;
+  real y = 0.0;
+  real z = 0.0;
+};
+
+/// An antenna array described by its element positions (in wavelengths).
+///
+/// The canonical constructions:
+///  - `ula(n, d)`:       n elements along the x-axis, spacing d·λ;
+///  - `upa(nx, ny, d)`:  nx × ny grid in the x–y plane, spacing d·λ.
+/// The paper's setup is a 4×4 λ/2 UPA at the TX (M = 16) and an 8×8 λ/2 UPA
+/// at the RX (N = 64).
+class ArrayGeometry {
+ public:
+  /// Uniform linear array along x: positions (i·spacing, 0, 0).
+  static ArrayGeometry ula(index_t n, real spacing = 0.5);
+
+  /// Uniform planar array in the x–y plane: positions
+  /// (ix·spacing, iy·spacing, 0), row-major over (ix, iy).
+  static ArrayGeometry upa(index_t nx, index_t ny, real spacing = 0.5);
+
+  index_t size() const { return positions_.size(); }
+  const Position& position(index_t i) const { return positions_[i]; }
+  const std::vector<Position>& positions() const { return positions_; }
+
+  /// Grid extents: (nx, ny) for a UPA, (n, 1) for a ULA.
+  index_t grid_x() const { return grid_x_; }
+  index_t grid_y() const { return grid_y_; }
+
+ private:
+  ArrayGeometry(std::vector<Position> positions, index_t gx, index_t gy)
+      : positions_(std::move(positions)), grid_x_(gx), grid_y_(gy) {}
+
+  std::vector<Position> positions_;
+  index_t grid_x_ = 0;
+  index_t grid_y_ = 0;
+};
+
+}  // namespace mmw::antenna

@@ -1,0 +1,124 @@
+#include "antenna/pattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mmw::antenna {
+
+std::vector<PatternSample> azimuth_cut(const ArrayGeometry& geometry,
+                                       const linalg::Vector& w,
+                                       real elevation, index_t samples,
+                                       real az_min, real az_max) {
+  MMW_REQUIRE(samples >= 2);
+  MMW_REQUIRE(az_min < az_max);
+  MMW_REQUIRE(w.size() == geometry.size());
+  std::vector<PatternSample> cut;
+  cut.reserve(samples);
+  for (index_t k = 0; k < samples; ++k) {
+    const real az = az_min + (az_max - az_min) * static_cast<real>(k) /
+                                 static_cast<real>(samples - 1);
+    cut.push_back({az, beam_gain(geometry, w, {az, elevation})});
+  }
+  return cut;
+}
+
+namespace {
+
+index_t peak_index(const std::vector<PatternSample>& cut) {
+  MMW_REQUIRE_MSG(cut.size() >= 3, "pattern cut too short");
+  index_t best = 0;
+  for (index_t k = 1; k < cut.size(); ++k)
+    if (cut[k].gain > cut[best].gain) best = k;
+  return best;
+}
+
+}  // namespace
+
+real half_power_beamwidth(const std::vector<PatternSample>& cut) {
+  const index_t peak = peak_index(cut);
+  const real half = cut[peak].gain / 2.0;
+  MMW_REQUIRE_MSG(cut[peak].gain > 0.0, "pattern peak is zero");
+
+  // Walk outwards from the peak to the first crossings of the −3 dB level,
+  // interpolating linearly between samples.
+  real left = cut.front().azimuth;
+  bool found_left = false;
+  for (index_t k = peak; k-- > 0;) {
+    if (cut[k].gain <= half) {
+      const real t = (half - cut[k].gain) / (cut[k + 1].gain - cut[k].gain);
+      left = cut[k].azimuth + t * (cut[k + 1].azimuth - cut[k].azimuth);
+      found_left = true;
+      break;
+    }
+  }
+  real right = cut.back().azimuth;
+  bool found_right = false;
+  for (index_t k = peak + 1; k < cut.size(); ++k) {
+    if (cut[k].gain <= half) {
+      const real t = (cut[k - 1].gain - half) / (cut[k - 1].gain - cut[k].gain);
+      right = cut[k - 1].azimuth + t * (cut[k].azimuth - cut[k - 1].azimuth);
+      found_right = true;
+      break;
+    }
+  }
+  MMW_REQUIRE_MSG(found_left && found_right,
+                  "main lobe wider than the sampled cut");
+  return right - left;
+}
+
+real peak_sidelobe_level_db(const std::vector<PatternSample>& cut) {
+  const index_t peak = peak_index(cut);
+  // Main lobe extent: from the first local minimum on each side of the peak.
+  index_t lo = 0;
+  for (index_t k = peak; k-- > 0;) {
+    if (cut[k].gain > cut[k + 1].gain) {
+      lo = k + 1;
+      break;
+    }
+  }
+  index_t hi = cut.size() - 1;
+  for (index_t k = peak + 1; k < cut.size(); ++k) {
+    if (cut[k].gain > cut[k - 1].gain) {
+      hi = k - 1;
+      break;
+    }
+  }
+  real sidelobe = 0.0;
+  for (index_t k = 0; k < cut.size(); ++k) {
+    if (k >= lo && k <= hi) continue;
+    sidelobe = std::max(sidelobe, cut[k].gain);
+  }
+  if (sidelobe <= 0.0) return -std::numeric_limits<real>::infinity();
+  return 10.0 * std::log10(sidelobe / cut[peak].gain);
+}
+
+real worst_case_coverage(const ArrayGeometry& geometry,
+                         const Codebook& codebook, real az_min, real az_max,
+                         real el_min, real el_max, index_t grid_az,
+                         index_t grid_el) {
+  MMW_REQUIRE(grid_az >= 2 && grid_el >= 1);
+  MMW_REQUIRE(az_min < az_max && el_min <= el_max);
+  const real full_gain = static_cast<real>(geometry.size());
+  real worst = std::numeric_limits<real>::infinity();
+  for (index_t ia = 0; ia < grid_az; ++ia) {
+    const real az = az_min + (az_max - az_min) * static_cast<real>(ia) /
+                                 static_cast<real>(grid_az - 1);
+    for (index_t ie = 0; ie < grid_el; ++ie) {
+      const real el =
+          grid_el == 1
+              ? el_min
+              : el_min + (el_max - el_min) * static_cast<real>(ie) /
+                             static_cast<real>(grid_el - 1);
+      const Direction dir{az, el};
+      real best = 0.0;
+      for (index_t c = 0; c < codebook.size(); ++c)
+        best = std::max(best,
+                        beam_gain(geometry, codebook.codeword(c), dir));
+      worst = std::min(worst, best / full_gain);
+    }
+  }
+  return worst;
+}
+
+}  // namespace mmw::antenna

@@ -1,0 +1,48 @@
+// Beam-pattern analytics: azimuth cuts, half-power beamwidth, peak sidelobe
+// level, and sector-coverage metrics of a codebook — the quantities codebook
+// designers trade off against training cost.
+#pragma once
+
+#include <vector>
+
+#include "antenna/codebook.h"
+#include "antenna/steering.h"
+
+namespace mmw::antenna {
+
+/// One sample of an azimuth pattern cut.
+struct PatternSample {
+  real azimuth = 0.0;  ///< radians
+  real gain = 0.0;     ///< linear power gain (beam_gain convention)
+};
+
+/// Samples the azimuth cut of a beam pattern at fixed elevation.
+/// Preconditions: samples ≥ 2, az_min < az_max, w sized to the array.
+std::vector<PatternSample> azimuth_cut(const ArrayGeometry& geometry,
+                                       const linalg::Vector& w,
+                                       real elevation = 0.0,
+                                       index_t samples = 361,
+                                       real az_min = -M_PI / 2,
+                                       real az_max = M_PI / 2);
+
+/// Half-power (−3 dB) beamwidth around the pattern peak of an azimuth cut,
+/// in radians. Throws precondition_error when the pattern never drops 3 dB
+/// below its peak inside the cut (beam wider than the cut).
+real half_power_beamwidth(const std::vector<PatternSample>& cut);
+
+/// Peak sidelobe level relative to the main lobe, in dB (≤ 0): the largest
+/// local maximum outside the main lobe (main lobe = contiguous region
+/// around the peak above the first nulls). Returns −infinity when the cut
+/// has no sidelobe.
+real peak_sidelobe_level_db(const std::vector<PatternSample>& cut);
+
+/// Sector coverage of a codebook: the worst-case best-codeword gain over a
+/// grid of directions inside the sector, relative to the full array gain N
+/// (≤ 1; 1 means some codeword always realizes full gain). The classic
+/// figure of merit for codebook sizing.
+real worst_case_coverage(const ArrayGeometry& geometry,
+                         const Codebook& codebook, real az_min, real az_max,
+                         real el_min, real el_max, index_t grid_az = 48,
+                         index_t grid_el = 16);
+
+}  // namespace mmw::antenna

@@ -1,0 +1,52 @@
+#include "antenna/steering.h"
+
+#include <cmath>
+
+namespace mmw::antenna {
+
+Position unit_wave_vector(const Direction& dir) {
+  const real ce = std::cos(dir.elevation);
+  // Boresight (az = el = 0) is +z, perpendicular to the x–y array plane:
+  // azimuth tilts the beam along the array's x-axis, elevation along y.
+  return {ce * std::sin(dir.azimuth), std::sin(dir.elevation),
+          ce * std::cos(dir.azimuth)};
+}
+
+linalg::Vector steering_vector(const ArrayGeometry& geometry,
+                               const Direction& dir) {
+  const Position k = unit_wave_vector(dir);
+  const index_t n = geometry.size();
+  const real scale = 1.0 / std::sqrt(static_cast<real>(n));
+  linalg::Vector a(n);
+  for (index_t i = 0; i < n; ++i) {
+    const Position& p = geometry.position(i);
+    const real phase = 2.0 * M_PI * (p.x * k.x + p.y * k.y + p.z * k.z);
+    a[i] = scale * cx{std::cos(phase), std::sin(phase)};
+  }
+  return a;
+}
+
+real beam_gain(const ArrayGeometry& geometry, const linalg::Vector& w,
+               const Direction& dir) {
+  MMW_REQUIRE(w.size() == geometry.size());
+  const linalg::Vector a = steering_vector(geometry, dir);
+  return static_cast<real>(geometry.size()) * std::norm(linalg::dot(a, w));
+}
+
+linalg::Vector subarray_restriction(const ArrayGeometry& geometry,
+                                    const linalg::Vector& w, index_t active_x,
+                                    index_t active_y) {
+  MMW_REQUIRE(w.size() == geometry.size());
+  MMW_REQUIRE(active_x >= 1 && active_x <= geometry.grid_x());
+  MMW_REQUIRE(active_y >= 1 && active_y <= geometry.grid_y());
+  linalg::Vector out(w.size());
+  // Element index is row-major over (ix, iy), matching ArrayGeometry.
+  for (index_t ix = 0; ix < active_x; ++ix)
+    for (index_t iy = 0; iy < active_y; ++iy)
+      out[ix * geometry.grid_y() + iy] = w[ix * geometry.grid_y() + iy];
+  MMW_REQUIRE_MSG(out.norm() > 0.0,
+                  "subarray restriction muted every active element");
+  return out.normalized();
+}
+
+}  // namespace mmw::antenna

@@ -1,0 +1,41 @@
+// Array steering (response) vectors.
+#pragma once
+
+#include "antenna/geometry.h"
+#include "linalg/vector.h"
+
+namespace mmw::antenna {
+
+/// Unit propagation vector for a physical direction:
+/// k = (cos el · cos az, cos el · sin az, sin el).
+Position unit_wave_vector(const Direction& dir);
+
+/// Unit-norm array steering vector a(dir):
+///   a_k = exp(+j·2π·(p_k · k(dir))) / √N.
+///
+/// This is both the array response to a plane wave arriving from `dir` and
+/// the beamforming weight vector that points the beam at `dir` (the paper's
+/// u / v vectors are unit-norm, ‖u‖ = ‖v‖ = 1).
+linalg::Vector steering_vector(const ArrayGeometry& geometry,
+                               const Direction& dir);
+
+/// Far-field beamforming gain |aᴴ(dir) w|² of weight vector `w` toward
+/// direction `dir`, normalized so an N-element array steered exactly at
+/// `dir` attains gain N.
+real beam_gain(const ArrayGeometry& geometry, const linalg::Vector& w,
+               const Direction& dir);
+
+/// Restricts a beamforming vector to the top-left `active_x × active_y`
+/// subarray of a grid geometry (remaining elements muted), renormalized to
+/// unit norm. A steering vector restricted this way is the same-direction
+/// steering vector of the smaller subarray — i.e. a WIDE beam: this is how
+/// IEEE 802.15.3c-style protocols form quasi-omni / sector-level patterns
+/// on one analog front end.
+///
+/// Preconditions: `w` sized to the geometry; 1 ≤ active_x ≤ grid_x,
+/// 1 ≤ active_y ≤ grid_y; the restriction of `w` must be non-zero.
+linalg::Vector subarray_restriction(const ArrayGeometry& geometry,
+                                    const linalg::Vector& w, index_t active_x,
+                                    index_t active_y);
+
+}  // namespace mmw::antenna

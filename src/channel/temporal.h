@@ -1,0 +1,44 @@
+// Temporal channel evolution: first-order Gauss–Markov (AR(1)) fading on a
+// fixed path geometry. The paper assumes the covariance "doesn't change
+// dramatically between consecutive TX-slots" while the instantaneous H_j
+// refades — this model makes both statements precise: per-path gains evolve
+// with correlation ρ per step, so the covariance (set by the geometry) is
+// exactly stationary while H decorrelates at a controllable rate.
+#pragma once
+
+#include "channel/link.h"
+
+namespace mmw::channel {
+
+/// Clarke/Jakes temporal correlation ρ = J₀(2π f_D τ) for Doppler f_D and
+/// step interval τ. Preconditions: both non-negative.
+real jakes_correlation(real doppler_hz, real step_seconds);
+
+/// Stateful fader over a Link: holds per-path complex gains that evolve as
+///   g[t+1] = ρ·g[t] + √(1−ρ²)·w,  w ~ CN(0, p_l),
+/// so every marginal matches the Link's Rayleigh statistics and
+/// E[g[t+k] g[t]*] = ρᵏ·p_l.
+class TemporalFader {
+ public:
+  /// Preconditions: 0 ≤ correlation ≤ 1.
+  TemporalFader(const Link& link, real correlation, randgen::Rng& rng);
+
+  real correlation() const { return rho_; }
+
+  /// Advances the fading state by one step.
+  void advance(randgen::Rng& rng);
+
+  /// Instantaneous channel matrix for the current state (N×M).
+  linalg::Matrix current_channel() const;
+
+  /// Effective RX channel H·u for the current state.
+  linalg::Vector current_effective(const linalg::Vector& u) const;
+
+ private:
+  const Link* link_;
+  real rho_;
+  real amplitude_scale_;
+  std::vector<cx> gains_;
+};
+
+}  // namespace mmw::channel

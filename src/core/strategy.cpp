@@ -1,0 +1,503 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+namespace mmw::core {
+
+using antenna::Codebook;
+using estimation::BeamMeasurement;
+using linalg::Matrix;
+using mac::Session;
+
+void RandomSearch::run(Session& session) const {
+  const index_t total =
+      session.tx_codebook().size() * session.rx_codebook().size();
+  const index_t nr = session.rx_codebook().size();
+  // A random permutation of all pairs, consumed front-to-back, is exactly
+  // "uniformly random among unmeasured pairs" with no rejection loop.
+  const auto order = session.rng().permutation(total);
+  for (const index_t flat : order) {
+    if (session.exhausted()) return;
+    session.measure(flat / nr, flat % nr);
+  }
+}
+
+void ScanSearch::run(Session& session) const {
+  const auto tx_order = session.tx_codebook().serpentine_order();
+  const auto rx_order = session.rx_codebook().serpentine_order();
+  const index_t nt = tx_order.size();
+  const index_t nr = rx_order.size();
+
+  // Joint boustrophedon: the RX sweep direction alternates per TX step, so
+  // consecutive pairs always differ by one grid step in exactly one beam.
+  std::vector<std::pair<index_t, index_t>> path;
+  path.reserve(nt * nr);
+  for (index_t ti = 0; ti < nt; ++ti) {
+    if (ti % 2 == 0) {
+      for (index_t ri = 0; ri < nr; ++ri)
+        path.emplace_back(tx_order[ti], rx_order[ri]);
+    } else {
+      for (index_t ri = nr; ri-- > 0;)
+        path.emplace_back(tx_order[ti], rx_order[ri]);
+    }
+  }
+
+  // Random starting pair, then cyclic traversal (paper: "a starting beam
+  // pair is selected, and then ... spatially adjacent to the previous").
+  const index_t start = static_cast<index_t>(
+      session.rng().uniform_int(0, path.size() - 1));
+  for (index_t k = 0; k < path.size(); ++k) {
+    if (session.exhausted()) return;
+    const auto& [t, r] = path[(start + k) % path.size()];
+    session.measure(t, r);
+  }
+}
+
+void ExhaustiveSearch::run(Session& session) const {
+  const index_t nr = session.rx_codebook().size();
+  const index_t total = session.tx_codebook().size() * nr;
+  for (index_t flat = 0; flat < total; ++flat) {
+    if (session.exhausted()) return;
+    session.measure(flat / nr, flat % nr);
+  }
+}
+
+ProposedAlignment::ProposedAlignment(ProposedOptions options)
+    : options_(std::move(options)) {
+  MMW_REQUIRE_MSG(options_.measurements_per_slot >= 2,
+                  "proposed scheme needs J >= 2 measurements per TX-slot");
+}
+
+void ProposedAlignment::run(Session& session) const {
+  linalg::Matrix state;  // no prior
+  run_with_state(session, state);
+}
+
+void ProposedAlignment::run_with_state(Session& session,
+                                       linalg::Matrix& covariance) const {
+  const Codebook& rx_cb = session.rx_codebook();
+  const index_t n = rx_cb.codeword(0).size();
+  MMW_REQUIRE_MSG(covariance.empty() ||
+                      (covariance.rows() == n && covariance.cols() == n),
+                  "prior covariance has the wrong shape");
+
+  estimation::CovarianceMlOptions est = options_.estimator;
+  est.gamma = session.gamma();
+
+  const auto estimate = [&](std::span<const BeamMeasurement> ms) -> Matrix {
+    switch (options_.estimator_kind) {
+      case EstimatorKind::kSampleCovariance:
+        return estimation::sample_covariance_estimate(n, ms, est.gamma);
+      case EstimatorKind::kDiagonalLoading:
+        return estimation::diagonal_loading_estimate(n, ms, est.gamma);
+      case EstimatorKind::kEmMl: {
+        estimation::CovarianceEmOptions em;
+        em.gamma = est.gamma;
+        em.mu = est.mu;
+        return estimation::estimate_covariance_em(n, ms, em).q;
+      }
+      case EstimatorKind::kRegularizedMl:
+        break;
+    }
+    return estimation::estimate_covariance_ml(n, ms, est).q;
+  };
+
+  const index_t j_total =
+      std::min<index_t>(options_.measurements_per_slot, rx_cb.size());
+
+  // Random TX direction per slot, never repeated within a round
+  // (Sec. IV-B2). When the budget outlasts one pass over U, further rounds
+  // revisit TX beams with their still-unmeasured RX beams, so the scheme is
+  // an anytime algorithm that degenerates to the exhaustive scan at a 100%
+  // search rate, as the paper states.
+  const auto tx_order =
+      session.rng().permutation(session.tx_codebook().size());
+
+  // Per-beam score below which the previous estimate carries no usable
+  // information about a beam; such probe slots are filled randomly instead
+  // of by (arbitrary) rank order among zero scores.
+  const real beam_floor = options_.exploration_floor / session.gamma();
+
+  std::optional<Matrix> q_prev;
+  if (!covariance.empty()) q_prev = covariance;
+  // An externally supplied prior is stale by construction (it survived a
+  // channel drift and was conditioned on a different TX beam), so it only
+  // drives half of the first slot's probes; in-frame estimates, which are
+  // fresh, drive all of them.
+  bool prior_is_external = q_prev.has_value();
+  // Exported tracking state: the running average of the per-slot estimates.
+  // Each slot's Q̂ is conditioned on that slot's TX beam; the average over
+  // slots approximates the full RX covariance E[HHᴴ], which is what remains
+  // valid for the NEXT alignment epoch under a different TX beam order.
+  Matrix state_accum;
+  index_t state_slots = 0;
+  index_t slot = 0;
+  index_t idle_slots = 0;  // consecutive TX beams with nothing left
+  while (!session.exhausted() && idle_slots < tx_order.size()) {
+    const index_t u_idx = tx_order[slot % tx_order.size()];
+    ++slot;
+
+    std::vector<index_t> unmeasured;
+    unmeasured.reserve(rx_cb.size());
+    for (index_t v = 0; v < rx_cb.size(); ++v)
+      if (!session.has_measured(u_idx, v)) unmeasured.push_back(v);
+    if (unmeasured.empty()) {
+      ++idle_slots;
+      continue;
+    }
+    idle_slots = 0;
+
+    // --- Step 1: choose the first J−1 RX beams: the J−1 largest Rayleigh
+    // quotients under the previous slot's estimate (Sec. IV-B2); beams the
+    // estimate knows nothing about are drawn randomly. -------------------
+    const index_t j_explore =
+        std::min<index_t>(j_total - 1, unmeasured.size());
+    std::vector<index_t> probes;
+    probes.reserve(j_explore);
+    std::vector<bool> picked(rx_cb.size(), false);
+    if (q_prev.has_value()) {
+      const index_t score_budget =
+          prior_is_external ? (j_explore + 1) / 2 : j_explore;
+      const std::vector<real> scores = rx_cb.covariance_scores(*q_prev);
+      std::vector<index_t> order = unmeasured;
+      std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+        return scores[a] > scores[b];
+      });
+      for (const index_t v : order) {
+        if (probes.size() == score_budget || scores[v] <= beam_floor) break;
+        probes.push_back(v);
+        picked[v] = true;
+      }
+    }
+    if (probes.size() < j_explore) {
+      std::vector<index_t> rest;
+      for (const index_t v : unmeasured)
+        if (!picked[v]) rest.push_back(v);
+      const auto shuffle = session.rng().permutation(rest.size());
+      for (const index_t k : shuffle) {
+        if (probes.size() == j_explore) break;
+        probes.push_back(rest[k]);
+      }
+    }
+
+    // --- Step 2: measure them and estimate Q̂ for this slot. -------------
+    std::vector<BeamMeasurement> slot_measurements;
+    slot_measurements.reserve(j_total);
+    for (const index_t v_idx : probes) {
+      if (session.exhausted()) return;
+      const real energy = session.measure(u_idx, v_idx);
+      slot_measurements.push_back({rx_cb.codeword(v_idx), energy});
+    }
+    Matrix q_hat = estimate(slot_measurements);
+
+    // --- Step 3: J-th measurement along the best unmeasured codeword under
+    // Q̂ (eq. 26 restricted to the codebook). -----------------------------
+    if (session.exhausted()) return;
+    for (const index_t v_idx :
+         rx_cb.top_k_for_covariance(q_hat, rx_cb.size())) {
+      if (session.has_measured(u_idx, v_idx)) continue;
+      const real energy = session.measure(u_idx, v_idx);
+      slot_measurements.push_back({rx_cb.codeword(v_idx), energy});
+      break;
+    }
+
+    // --- Step 4: carry the slot's covariance estimate forward. ----------
+    if (options_.reestimate_with_final &&
+        slot_measurements.size() > probes.size()) {
+      q_hat = estimate(slot_measurements);
+    }
+    if (state_accum.empty())
+      state_accum = q_hat;
+    else
+      state_accum += q_hat;
+    ++state_slots;
+    covariance = state_accum / cx{static_cast<real>(state_slots), 0.0};
+    q_prev = std::move(q_hat);
+    prior_is_external = false;
+  }
+}
+
+PingPongAlignment::PingPongAlignment(PingPongOptions options)
+    : options_(std::move(options)) {
+  MMW_REQUIRE_MSG(options_.measurements_per_slot >= 2,
+                  "ping-pong needs J >= 2 measurements per slot");
+}
+
+void PingPongAlignment::run(Session& session) const {
+  const Codebook& tx_cb = session.tx_codebook();
+  const Codebook& rx_cb = session.rx_codebook();
+  const index_t j_total = std::min<index_t>(
+      options_.measurements_per_slot,
+      std::min(tx_cb.size(), rx_cb.size()));
+
+  estimation::CovarianceMlOptions est = options_.estimator;
+  est.gamma = session.gamma();
+  const real beam_floor = options_.exploration_floor / session.gamma();
+
+  std::optional<Matrix> q_rx;  // N×N, learned in RX-phase slots
+  std::optional<Matrix> q_tx;  // M×M, learned in TX-phase slots
+
+  // Picks the best-scoring index under an optional covariance among those
+  // for which `usable` holds, falling back to a random usable index.
+  const auto pick = [&](const Codebook& cb, const std::optional<Matrix>& q,
+                        auto&& usable) -> std::optional<index_t> {
+    if (q.has_value()) {
+      const auto scores = cb.covariance_scores(*q);
+      index_t best = cb.size();
+      real best_score = beam_floor;
+      for (index_t i = 0; i < cb.size(); ++i)
+        if (usable(i) && scores[i] > best_score) {
+          best_score = scores[i];
+          best = i;
+        }
+      if (best < cb.size()) return best;
+    }
+    for (const index_t i : session.rng().permutation(cb.size()))
+      if (usable(i)) return i;
+    return std::nullopt;
+  };
+
+  // Ranked probe list for one slot: top scores above the floor, then
+  // random fill, all restricted to `usable`.
+  const auto choose_probes = [&](const Codebook& cb,
+                                 const std::optional<Matrix>& q,
+                                 auto&& usable, index_t count) {
+    std::vector<index_t> probes;
+    std::vector<bool> picked(cb.size(), false);
+    if (q.has_value()) {
+      const auto scores = cb.covariance_scores(*q);
+      std::vector<index_t> order;
+      for (index_t i = 0; i < cb.size(); ++i)
+        if (usable(i)) order.push_back(i);
+      std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+        return scores[a] > scores[b];
+      });
+      for (const index_t i : order) {
+        if (probes.size() == count || scores[i] <= beam_floor) break;
+        probes.push_back(i);
+        picked[i] = true;
+      }
+    }
+    for (const index_t i : session.rng().permutation(cb.size())) {
+      if (probes.size() == count) break;
+      if (usable(i) && !picked[i]) probes.push_back(i);
+    }
+    return probes;
+  };
+
+  bool rx_phase = true;
+  index_t stalled = 0;
+  while (!session.exhausted() && stalled < 2) {
+    if (rx_phase) {
+      // TX dwells on its best-believed beam; RX probes and learns.
+      const auto u_idx = pick(tx_cb, q_tx, [&](index_t u) {
+        for (index_t v = 0; v < rx_cb.size(); ++v)
+          if (!session.has_measured(u, v)) return true;
+        return false;
+      });
+      if (!u_idx) {
+        ++stalled;
+        rx_phase = false;
+        continue;
+      }
+      stalled = 0;
+      const auto usable_v = [&](index_t v) {
+        return !session.has_measured(*u_idx, v);
+      };
+      std::vector<estimation::BeamMeasurement> ms;
+      for (const index_t v : choose_probes(rx_cb, q_rx, usable_v,
+                                           j_total - 1)) {
+        if (session.exhausted()) return;
+        ms.push_back({rx_cb.codeword(v), session.measure(*u_idx, v)});
+      }
+      if (!ms.empty()) {
+        Matrix q = estimation::estimate_covariance_ml(
+                       rx_cb.codeword(0).size(), ms, est)
+                       .q;
+        if (!session.exhausted()) {
+          for (const index_t v :
+               rx_cb.top_k_for_covariance(q, rx_cb.size())) {
+            if (!usable_v(v)) continue;
+            ms.push_back({rx_cb.codeword(v), session.measure(*u_idx, v)});
+            q = estimation::estimate_covariance_ml(
+                    rx_cb.codeword(0).size(), ms, est)
+                    .q;
+            break;
+          }
+        }
+        q_rx = std::move(q);
+      }
+    } else {
+      // RX dwells on its best-believed beam; TX probes and learns.
+      const auto v_idx = pick(rx_cb, q_rx, [&](index_t v) {
+        for (index_t u = 0; u < tx_cb.size(); ++u)
+          if (!session.has_measured(u, v)) return true;
+        return false;
+      });
+      if (!v_idx) {
+        ++stalled;
+        rx_phase = true;
+        continue;
+      }
+      stalled = 0;
+      const auto usable_u = [&](index_t u) {
+        return !session.has_measured(u, *v_idx);
+      };
+      std::vector<estimation::BeamMeasurement> ms;
+      for (const index_t u : choose_probes(tx_cb, q_tx, usable_u,
+                                           j_total - 1)) {
+        if (session.exhausted()) return;
+        ms.push_back({tx_cb.codeword(u), session.measure(u, *v_idx)});
+      }
+      if (!ms.empty()) {
+        Matrix q = estimation::estimate_covariance_ml(
+                       tx_cb.codeword(0).size(), ms, est)
+                       .q;
+        if (!session.exhausted()) {
+          for (const index_t u :
+               tx_cb.top_k_for_covariance(q, tx_cb.size())) {
+            if (!usable_u(u)) continue;
+            ms.push_back({tx_cb.codeword(u), session.measure(u, *v_idx)});
+            q = estimation::estimate_covariance_ml(
+                    tx_cb.codeword(0).size(), ms, est)
+                    .q;
+            break;
+          }
+        }
+        q_tx = std::move(q);
+      }
+    }
+    rx_phase = !rx_phase;
+  }
+}
+
+void LocalSearch::run(Session& session) const {
+  const Codebook& tx_cb = session.tx_codebook();
+  const Codebook& rx_cb = session.rx_codebook();
+  const index_t nr = rx_cb.size();
+
+  // Random unmeasured pair for (re)starts, consumed lazily.
+  const auto restart_order = session.rng().permutation(tx_cb.size() * nr);
+  index_t restart_cursor = 0;
+  auto next_restart = [&]() -> std::optional<std::pair<index_t, index_t>> {
+    while (restart_cursor < restart_order.size()) {
+      const index_t flat = restart_order[restart_cursor++];
+      const index_t t = flat / nr, r = flat % nr;
+      if (!session.has_measured(t, r)) return std::make_pair(t, r);
+    }
+    return std::nullopt;
+  };
+
+  while (!session.exhausted()) {
+    const auto start = next_restart();
+    if (!start) return;  // every pair measured
+    index_t cur_t = start->first, cur_r = start->second;
+    real cur_energy = session.measure(cur_t, cur_r);
+
+    // Hill climb until no unmeasured neighbour improves.
+    bool improved = true;
+    while (improved && !session.exhausted()) {
+      improved = false;
+      index_t best_t = cur_t, best_r = cur_r;
+      real best_energy = cur_energy;
+      // Neighbours: one grid step in the TX beam OR the RX beam.
+      for (const index_t t : tx_cb.neighbors(cur_t)) {
+        if (session.exhausted()) break;
+        if (session.has_measured(t, cur_r)) continue;
+        const real e = session.measure(t, cur_r);
+        if (e > best_energy) {
+          best_energy = e;
+          best_t = t;
+          best_r = cur_r;
+        }
+      }
+      for (const index_t r : rx_cb.neighbors(cur_r)) {
+        if (session.exhausted()) break;
+        if (session.has_measured(cur_t, r)) continue;
+        const real e = session.measure(cur_t, r);
+        if (e > best_energy) {
+          best_energy = e;
+          best_t = cur_t;
+          best_r = r;
+        }
+      }
+      if (best_energy > cur_energy) {
+        cur_t = best_t;
+        cur_r = best_r;
+        cur_energy = best_energy;
+        improved = true;
+      }
+    }
+  }
+}
+
+HierarchicalSearch::HierarchicalSearch(HierarchicalOptions options)
+    : options_(options) {
+  MMW_REQUIRE_MSG(options_.stride >= 1, "stride must be at least 1");
+}
+
+void HierarchicalSearch::run(Session& session) const {
+  const Codebook& tx_cb = session.tx_codebook();
+  const Codebook& rx_cb = session.rx_codebook();
+  const index_t s = options_.stride;
+
+  auto subgrid = [s](const Codebook& cb) {
+    std::vector<index_t> out;
+    for (index_t x = 0; x < cb.grid_x(); x += s)
+      for (index_t y = 0; y < cb.grid_y(); y += s)
+        out.push_back(x * cb.grid_y() + y);
+    return out;
+  };
+
+  // Stage 1: coarse sweep.
+  index_t best_t = 0, best_r = 0;
+  real best_energy = -1.0;
+  for (const index_t t : subgrid(tx_cb)) {
+    for (const index_t r : subgrid(rx_cb)) {
+      if (session.exhausted()) return;
+      const real e = session.measure(t, r);
+      if (e > best_energy) {
+        best_energy = e;
+        best_t = t;
+        best_r = r;
+      }
+    }
+  }
+
+  // Stage 2: exhaustive refinement inside the Chebyshev window around the
+  // coarse winner (window radius = stride·refine_radius so the window
+  // covers the coarse cell).
+  const index_t radius = s * options_.refine_radius;
+  auto window = [radius](const Codebook& cb, index_t center) {
+    const auto [cx_, cy_] = cb.coordinates(center);
+    std::vector<index_t> out;
+    const index_t x_lo = cx_ >= radius ? cx_ - radius : 0;
+    const index_t y_lo = cy_ >= radius ? cy_ - radius : 0;
+    const index_t x_hi = std::min(cb.grid_x() - 1, cx_ + radius);
+    const index_t y_hi = std::min(cb.grid_y() - 1, cy_ + radius);
+    for (index_t x = x_lo; x <= x_hi; ++x)
+      for (index_t y = y_lo; y <= y_hi; ++y)
+        out.push_back(x * cb.grid_y() + y);
+    return out;
+  };
+  for (const index_t t : window(tx_cb, best_t)) {
+    for (const index_t r : window(rx_cb, best_r)) {
+      if (session.exhausted()) return;
+      if (!session.has_measured(t, r)) session.measure(t, r);
+    }
+  }
+
+  // Stage 3: leftover budget explores randomly.
+  const index_t nr = rx_cb.size();
+  for (const index_t flat :
+       session.rng().permutation(tx_cb.size() * nr)) {
+    if (session.exhausted()) return;
+    if (!session.has_measured(flat / nr, flat % nr))
+      session.measure(flat / nr, flat % nr);
+  }
+}
+
+}  // namespace mmw::core

@@ -1,0 +1,152 @@
+#include "estimation/compressed_sensing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "antenna/steering.h"
+#include "linalg/decompositions.h"
+
+namespace mmw::estimation {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+BeamspaceDictionary::BeamspaceDictionary(const antenna::ArrayGeometry& tx,
+                                         const antenna::ArrayGeometry& rx,
+                                         index_t tx_az, index_t tx_el,
+                                         index_t rx_az, index_t rx_el,
+                                         real az_min, real az_max,
+                                         real el_min, real el_max) {
+  MMW_REQUIRE(tx_az >= 1 && tx_el >= 1 && rx_az >= 1 && rx_el >= 1);
+  MMW_REQUIRE(az_min < az_max && el_min <= el_max);
+  auto grid = [&](const antenna::ArrayGeometry& geo, index_t n_az,
+                  index_t n_el, std::vector<Vector>& steering,
+                  std::vector<antenna::Direction>& dirs) {
+    for (index_t ia = 0; ia < n_az; ++ia) {
+      const real az = n_az == 1 ? az_min
+                                : az_min + (az_max - az_min) *
+                                               static_cast<real>(ia) /
+                                               static_cast<real>(n_az - 1);
+      for (index_t ie = 0; ie < n_el; ++ie) {
+        const real el = n_el == 1 ? el_min
+                                  : el_min + (el_max - el_min) *
+                                                 static_cast<real>(ie) /
+                                                 static_cast<real>(n_el - 1);
+        dirs.push_back({az, el});
+        steering.push_back(antenna::steering_vector(geo, {az, el}));
+      }
+    }
+  };
+  grid(tx, tx_az, tx_el, tx_steering_, tx_dirs_);
+  grid(rx, rx_az, rx_el, rx_steering_, rx_dirs_);
+}
+
+OmpResult omp_channel_estimate(const BeamspaceDictionary& dict,
+                               std::span<const CoherentMeasurement> ms,
+                               const OmpOptions& opts) {
+  MMW_REQUIRE_MSG(!ms.empty(), "need at least one measurement");
+  MMW_REQUIRE(opts.max_atoms >= 1);
+  MMW_REQUIRE_MSG(opts.max_atoms <= ms.size(),
+                  "more atoms than measurements is underdetermined");
+  const index_t m_count = ms.size();
+  for (const CoherentMeasurement& m : ms) {
+    MMW_REQUIRE(m.tx_beam.size() == dict.tx_steering(0).size());
+    MMW_REQUIRE(m.rx_beam.size() == dict.rx_steering(0).size());
+  }
+
+  // Precompute the factorized sensing coefficients:
+  //   z_k = Σ_{ij} x_{ij} · rxc[k][j] · txc[k][i],
+  // where txc[k][i] = a_tx,iᴴ u_k and rxc[k][j] = v_kᴴ a_rx,j.
+  const index_t gt = dict.tx_atoms();
+  const index_t gr = dict.rx_atoms();
+  std::vector<cx> txc(m_count * gt), rxc(m_count * gr);
+  for (index_t k = 0; k < m_count; ++k) {
+    for (index_t i = 0; i < gt; ++i)
+      txc[k * gt + i] = linalg::dot(dict.tx_steering(i), ms[k].tx_beam);
+    for (index_t j = 0; j < gr; ++j)
+      rxc[k * gr + j] = linalg::dot(ms[k].rx_beam, dict.rx_steering(j));
+  }
+  auto column = [&](index_t i, index_t j) {
+    Vector phi(m_count);
+    for (index_t k = 0; k < m_count; ++k)
+      phi[k] = rxc[k * gr + j] * txc[k * gt + i];
+    return phi;
+  };
+
+  Vector z(m_count);
+  for (index_t k = 0; k < m_count; ++k) z[k] = ms[k].observation;
+  const real z_norm = std::max(z.norm(), 1e-300);
+
+  OmpResult result;
+  Vector residual = z;
+  std::vector<Vector> support_columns;
+
+  for (index_t iter = 0; iter < opts.max_atoms; ++iter) {
+    // Atom selection: maximize |φᴴ r| / ‖φ‖ over all (i, j) pairs.
+    index_t best_i = 0, best_j = 0;
+    real best_score = -1.0;
+    for (index_t i = 0; i < gt; ++i) {
+      for (index_t j = 0; j < gr; ++j) {
+        cx corr{0.0, 0.0};
+        real norm_sq = 0.0;
+        for (index_t k = 0; k < m_count; ++k) {
+          const cx phi = rxc[k * gr + j] * txc[k * gt + i];
+          corr += std::conj(phi) * residual[k];
+          norm_sq += std::norm(phi);
+        }
+        if (norm_sq <= 1e-24) continue;
+        const real score = std::norm(corr) / norm_sq;
+        if (score > best_score) {
+          best_score = score;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_score <= 0.0) break;
+
+    // Skip duplicates (can happen when the residual is pure noise).
+    const bool duplicate = std::any_of(
+        result.atoms.begin(), result.atoms.end(), [&](const auto& a) {
+          return a.tx_index == best_i && a.rx_index == best_j;
+        });
+    if (duplicate) break;
+
+    result.atoms.push_back({best_i, best_j, cx{0.0, 0.0}});
+    support_columns.push_back(column(best_i, best_j));
+
+    // Least squares on the support, then refresh the residual.
+    Matrix phi_s(m_count, support_columns.size());
+    for (index_t c = 0; c < support_columns.size(); ++c)
+      phi_s.set_col(c, support_columns[c]);
+    const Vector gains = linalg::least_squares(phi_s, z);
+    for (index_t c = 0; c < result.atoms.size(); ++c)
+      result.atoms[c].gain = gains[c];
+    residual = z - phi_s * gains;
+
+    result.relative_residual = residual.norm() / z_norm;
+    if (result.relative_residual <= opts.residual_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+Matrix synthesize_channel(const BeamspaceDictionary& dict,
+                          const OmpResult& result) {
+  const index_t n = dict.rx_steering(0).size();
+  const index_t m = dict.tx_steering(0).size();
+  Matrix h(n, m);
+  for (const OmpResult::Atom& atom : result.atoms) {
+    const Vector& ar = dict.rx_steering(atom.rx_index);
+    const Vector& at = dict.tx_steering(atom.tx_index);
+    for (index_t i = 0; i < n; ++i) {
+      const cx gi = atom.gain * ar[i];
+      for (index_t j = 0; j < m; ++j) h(i, j) += gi * std::conj(at[j]);
+    }
+  }
+  return h;
+}
+
+}  // namespace mmw::estimation

@@ -1,0 +1,85 @@
+// Compressed-sensing channel estimation in beamspace: recover the sparse
+// mmWave channel H ≈ Σ_k g_k · a_rx(θ_k) a_tx(φ_k)ᴴ from a few beamformed
+// COHERENT measurements z = vᴴ H u + n via Orthogonal Matching Pursuit over
+// a dictionary of steering-vector pairs (the Alkhateeb/Heath estimator
+// family the paper's related work builds on).
+//
+// Contrast with estimation/covariance_ml.h: the covariance estimator works
+// from measurement ENERGIES and tolerates the channel refading between
+// measurements (the paper's model); OMP needs the complex z's, i.e. all
+// measurements inside one channel coherence interval. Both substrates are
+// provided; see examples/sparse_channel_estimation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "antenna/codebook.h"
+#include "antenna/geometry.h"
+#include "linalg/matrix.h"
+
+namespace mmw::estimation {
+
+/// Factorized dictionary of candidate departure/arrival steering vectors on
+/// oversampled angular grids; atom (i, j) is the rank-one matrix
+/// a_rx[j] a_tx[i]ᴴ.
+class BeamspaceDictionary {
+ public:
+  /// Uniform angular grids over the sector at both ends.
+  BeamspaceDictionary(const antenna::ArrayGeometry& tx,
+                      const antenna::ArrayGeometry& rx, index_t tx_az,
+                      index_t tx_el, index_t rx_az, index_t rx_el,
+                      real az_min, real az_max, real el_min, real el_max);
+
+  index_t tx_atoms() const { return tx_steering_.size(); }
+  index_t rx_atoms() const { return rx_steering_.size(); }
+  index_t size() const { return tx_atoms() * rx_atoms(); }
+
+  const linalg::Vector& tx_steering(index_t i) const { return tx_steering_[i]; }
+  const linalg::Vector& rx_steering(index_t j) const { return rx_steering_[j]; }
+  const antenna::Direction& tx_direction(index_t i) const { return tx_dirs_[i]; }
+  const antenna::Direction& rx_direction(index_t j) const { return rx_dirs_[j]; }
+
+ private:
+  std::vector<linalg::Vector> tx_steering_;
+  std::vector<linalg::Vector> rx_steering_;
+  std::vector<antenna::Direction> tx_dirs_;
+  std::vector<antenna::Direction> rx_dirs_;
+};
+
+/// One coherent beamformed observation z = vᴴ H u + n.
+struct CoherentMeasurement {
+  linalg::Vector tx_beam;  ///< u
+  linalg::Vector rx_beam;  ///< v
+  cx observation;          ///< z
+};
+
+struct OmpOptions {
+  index_t max_atoms = 6;       ///< sparsity budget (paths to extract)
+  real residual_tolerance = 5e-2;  ///< stop when ‖r‖/‖z‖ falls below
+};
+
+struct OmpResult {
+  /// One recovered path: dictionary indices and complex gain.
+  struct Atom {
+    index_t tx_index = 0;
+    index_t rx_index = 0;
+    cx gain;
+  };
+  std::vector<Atom> atoms;
+  real relative_residual = 1.0;
+  bool converged = false;  ///< residual tolerance reached
+};
+
+/// OMP over the pair dictionary. Preconditions: at least one measurement,
+/// beams sized to the dictionary's arrays, max_atoms ≥ 1 and not larger
+/// than the measurement count.
+OmpResult omp_channel_estimate(const BeamspaceDictionary& dictionary,
+                               std::span<const CoherentMeasurement> ms,
+                               const OmpOptions& options = {});
+
+/// Synthesizes the channel estimate Ĥ = Σ g_k a_rx a_txᴴ from OMP atoms.
+linalg::Matrix synthesize_channel(const BeamspaceDictionary& dictionary,
+                                  const OmpResult& result);
+
+}  // namespace mmw::estimation

@@ -1,0 +1,284 @@
+#include "estimation/covariance_ml.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eig.h"
+#include "linalg/functions.h"
+
+namespace mmw::estimation {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+/// Euclidean gradient of the smooth part J(Q) = Σ log λ_j + w_j/λ_j:
+///   ∇J = Σ_j (λ_j − w_j)/λ_j² · v_j v_jᴴ   (Hermitian).
+Matrix gradient(const Matrix& q, std::span<const BeamMeasurement> ms,
+                real gamma) {
+  Matrix g(q.rows(), q.cols());
+  for (const BeamMeasurement& m : ms) {
+    const real lambda = expected_energy(q, m.beam, gamma);
+    const real coeff = (lambda - m.energy) / (lambda * lambda);
+    g += cx{coeff, 0.0} * Matrix::outer(m.beam, m.beam);
+  }
+  return g;
+}
+
+real inner_real(const Matrix& a, const Matrix& b) {
+  // Re tr(Aᴴ B) — the real inner product on Hermitian matrices.
+  real acc = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j)
+      acc += (std::conj(a(i, j)) * b(i, j)).real();
+  return acc;
+}
+
+}  // namespace
+
+namespace {
+
+/// Core projected proximal-gradient loop on an n-dimensional problem.
+CovarianceMlResult solve_full(index_t n,
+                              std::span<const BeamMeasurement> measurements,
+                              const CovarianceMlOptions& opts) {
+  // Moment-based warm start keeps the likelihood well-conditioned from the
+  // first iteration (Q = 0 would put all mass on the noise floor).
+  Matrix q = sample_covariance_estimate(n, measurements, opts.gamma);
+
+  auto objective = [&](const Matrix& x) {
+    return negative_log_likelihood(x, measurements, opts.gamma) +
+           opts.mu * x.trace().real();  // ‖X‖₁ = tr(X) on the PSD cone
+  };
+
+  CovarianceMlResult result;
+  real f_prev = objective(q);
+  real step = opts.initial_step;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const Matrix grad = gradient(q, measurements, opts.gamma);
+    const real f_smooth =
+        negative_log_likelihood(q, measurements, opts.gamma);
+
+    // Backtracking proximal gradient step.
+    Matrix q_next = q;
+    bool accepted = false;
+    for (int bt = 0; bt < opts.max_backtracks; ++bt) {
+      const Matrix trial = linalg::eigenvalue_soft_threshold(
+          q - cx{step, 0.0} * grad, step * opts.mu);
+      const Matrix delta = trial - q;
+      const real quad =
+          f_smooth + inner_real(grad, delta) +
+          inner_real(delta, delta) / (2.0 * step);
+      const real f_trial =
+          negative_log_likelihood(trial, measurements, opts.gamma);
+      if (f_trial <= quad + 1e-12 * std::abs(quad)) {
+        q_next = trial;
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) {
+      // The step has shrunk below usefulness: we are at (numerical)
+      // stationarity.
+      result.converged = true;
+      result.iterations = it;
+      break;
+    }
+
+    q = q_next;
+    const real f_now = objective(q);
+    result.iterations = it + 1;
+    if (std::abs(f_prev - f_now) <=
+        opts.tolerance * std::max(1.0, std::abs(f_prev))) {
+      result.converged = true;
+      f_prev = f_now;
+      break;
+    }
+    f_prev = f_now;
+    // Gentle step recovery so one conservative backtrack doesn't pin the
+    // step size for the rest of the run.
+    step = std::min(step * 2.0, opts.initial_step);
+  }
+
+  result.q = std::move(q);
+  result.objective = f_prev;
+  return result;
+}
+
+/// Exact subspace reduction shared by both likelihood solvers. The
+/// likelihood depends on Q only through v_jᴴ Q v_j, and replacing Q by
+/// P Q P (P = projector onto span{v_j}) leaves every λ_j unchanged while
+/// never increasing tr(Q); hence an optimum exists inside the beam span
+/// and an r×r problem (r ≤ J ≪ N) can be solved instead of an N×N one.
+struct ReducedProblem {
+  std::vector<Vector> basis;             ///< orthonormal basis of span{v_j}
+  std::vector<BeamMeasurement> reduced;  ///< measurements with ṽ = Bᴴv
+};
+
+ReducedProblem reduce_to_beam_span(
+    std::span<const BeamMeasurement> measurements) {
+  ReducedProblem out;
+  // Modified Gram–Schmidt, dropping nearly dependent beams.
+  for (const BeamMeasurement& m : measurements) {
+    Vector v = m.beam;
+    for (const Vector& b : out.basis) v -= linalg::dot(b, v) * b;
+    if (v.norm() > 1e-9 * m.beam.norm())
+      out.basis.push_back(v.normalized());
+  }
+  const index_t r = out.basis.size();
+  out.reduced.reserve(measurements.size());
+  for (const BeamMeasurement& m : measurements) {
+    Vector vt(r);
+    for (index_t k = 0; k < r; ++k) vt[k] = linalg::dot(out.basis[k], m.beam);
+    out.reduced.push_back({std::move(vt), m.energy});
+  }
+  return out;
+}
+
+/// Lift a reduced solution back: Q = B Q_r Bᴴ.
+Matrix lift_from_beam_span(const Matrix& q_r,
+                           const std::vector<Vector>& basis, index_t n) {
+  const index_t r = basis.size();
+  Matrix q(n, n);
+  for (index_t a = 0; a < r; ++a) {
+    for (index_t b = 0; b < r; ++b) {
+      const cx qab = q_r(a, b);
+      if (qab == cx{0.0, 0.0}) continue;
+      for (index_t i = 0; i < n; ++i) {
+        const cx scaled = qab * basis[a][i];
+        for (index_t j = 0; j < n; ++j)
+          q(i, j) += scaled * std::conj(basis[b][j]);
+      }
+    }
+  }
+  return q;
+}
+
+void check_measurements(index_t n,
+                        std::span<const BeamMeasurement> measurements) {
+  MMW_REQUIRE_MSG(!measurements.empty(), "need at least one measurement");
+  for (const BeamMeasurement& m : measurements)
+    MMW_REQUIRE_MSG(m.beam.size() == n, "beam dimension mismatch");
+}
+
+}  // namespace
+
+CovarianceMlResult estimate_covariance_ml(
+    index_t n, std::span<const BeamMeasurement> measurements,
+    const CovarianceMlOptions& opts) {
+  check_measurements(n, measurements);
+  MMW_REQUIRE(opts.mu >= 0.0);
+  MMW_REQUIRE(opts.gamma > 0.0);
+  MMW_REQUIRE(opts.max_iterations > 0);
+
+  const ReducedProblem rp = reduce_to_beam_span(measurements);
+  if (rp.basis.size() == n) {
+    // Beams already span the full space; no reduction possible.
+    return solve_full(n, measurements, opts);
+  }
+  CovarianceMlResult res = solve_full(rp.basis.size(), rp.reduced, opts);
+  res.q = lift_from_beam_span(res.q, rp.basis, n);
+  return res;
+}
+
+CovarianceMlResult estimate_covariance_em(
+    index_t n, std::span<const BeamMeasurement> measurements,
+    const CovarianceEmOptions& opts) {
+  check_measurements(n, measurements);
+  MMW_REQUIRE(opts.mu >= 0.0);
+  MMW_REQUIRE(opts.gamma > 0.0);
+  MMW_REQUIRE(opts.max_iterations > 0);
+
+  const ReducedProblem rp = reduce_to_beam_span(measurements);
+  const bool reduced = rp.basis.size() < n;
+  const std::span<const BeamMeasurement> ms =
+      reduced ? std::span<const BeamMeasurement>(rp.reduced)
+              : measurements;
+  const index_t dim = reduced ? rp.basis.size() : n;
+  const real j_count = static_cast<real>(ms.size());
+
+  Matrix q = sample_covariance_estimate(dim, ms, opts.gamma);
+  // A zero warm start is an EM fixed point; nudge it off the boundary.
+  if (q.trace().real() <= 0.0)
+    q = Matrix::identity(dim) * cx{1.0 / opts.gamma, 0.0};
+
+  CovarianceMlResult result;
+  real nll_prev = negative_log_likelihood(q, ms, opts.gamma);
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    // E-step folded into the M-step update:
+    //   S = Q − (1/J) Σ_j (1 − w_j/λ_j)·(Q v_j)(Q v_j)ᴴ / λ_j.
+    Matrix s = q;
+    for (const BeamMeasurement& m : ms) {
+      const real lambda = expected_energy(q, m.beam, opts.gamma);
+      const Vector qv = q * m.beam;
+      const real coeff =
+          (1.0 - m.energy / lambda) / (lambda * j_count);
+      s -= cx{coeff, 0.0} * Matrix::outer(qv, qv);
+    }
+    if (opts.mu == 0.0) {
+      q = std::move(s);
+    } else {
+      // Penalized M-step: with S = U diag(d) Uᴴ, each eigenvalue solves
+      // μ·q² + J·q − J·d = 0 (trace penalty μ on the complete-data ML).
+      const linalg::EigResult eig = linalg::hermitian_eig_ql(s);
+      std::vector<real> shrunk(eig.eigenvalues.size());
+      for (index_t k = 0; k < shrunk.size(); ++k) {
+        const real d = std::max(eig.eigenvalues[k], 0.0);
+        shrunk[k] = (-j_count + std::sqrt(j_count * j_count +
+                                          4.0 * opts.mu * j_count * d)) /
+                    (2.0 * opts.mu);
+      }
+      Matrix rebuilt(dim, dim);
+      for (index_t k = 0; k < shrunk.size(); ++k) {
+        if (shrunk[k] == 0.0) continue;
+        const Vector uk = eig.eigenvectors.col(k);
+        rebuilt += cx{shrunk[k], 0.0} * Matrix::outer(uk, uk);
+      }
+      q = std::move(rebuilt);
+    }
+
+    const real nll = negative_log_likelihood(q, ms, opts.gamma);
+    result.iterations = it + 1;
+    if (std::abs(nll_prev - nll) <=
+        opts.tolerance * std::max(1.0, std::abs(nll_prev))) {
+      result.converged = true;
+      nll_prev = nll;
+      break;
+    }
+    nll_prev = nll;
+  }
+  result.objective = nll_prev + opts.mu * q.trace().real();
+  result.q = reduced ? lift_from_beam_span(q, rp.basis, n) : std::move(q);
+  return result;
+}
+
+Matrix sample_covariance_estimate(index_t n,
+                                  std::span<const BeamMeasurement> ms,
+                                  real gamma) {
+  MMW_REQUIRE(!ms.empty());
+  MMW_REQUIRE(gamma > 0.0);
+  Matrix q(n, n);
+  for (const BeamMeasurement& m : ms) {
+    MMW_REQUIRE(m.beam.size() == n);
+    const real excess =
+        std::max(m.energy - m.beam.squared_norm() / gamma, 0.0);
+    q += cx{excess, 0.0} * Matrix::outer(m.beam, m.beam);
+  }
+  const real scale =
+      static_cast<real>(n) / static_cast<real>(ms.size());
+  return q * cx{scale, 0.0};
+}
+
+Matrix diagonal_loading_estimate(index_t n,
+                                 std::span<const BeamMeasurement> ms,
+                                 real gamma, real epsilon) {
+  MMW_REQUIRE(epsilon >= 0.0);
+  Matrix q = sample_covariance_estimate(n, ms, gamma);
+  const real load = epsilon * q.trace().real() / static_cast<real>(n);
+  return q + Matrix::identity(n) * cx{load, 0.0};
+}
+
+}  // namespace mmw::estimation

@@ -1,0 +1,49 @@
+#include "estimation/fisher.h"
+
+#include <cmath>
+
+namespace mmw::estimation {
+
+real energy_fisher_information(real lambda, index_t fades) {
+  MMW_REQUIRE_MSG(lambda > 0.0, "lambda must be positive");
+  MMW_REQUIRE(fades >= 1);
+  // w̄ ~ Gamma(K, λ/K): I(λ) = K/λ².
+  return static_cast<real>(fades) / (lambda * lambda);
+}
+
+linalg::Matrix linear_model_fisher_matrix(std::span<const real> sensitivities,
+                                          index_t parameters,
+                                          std::span<const real> lambdas,
+                                          index_t fades) {
+  MMW_REQUIRE(parameters >= 1);
+  MMW_REQUIRE_MSG(!lambdas.empty(), "need at least one measurement");
+  MMW_REQUIRE_MSG(sensitivities.size() == lambdas.size() * parameters,
+                  "sensitivity matrix shape mismatch");
+  linalg::Matrix fim(parameters, parameters);
+  for (index_t j = 0; j < lambdas.size(); ++j) {
+    const real info = energy_fisher_information(lambdas[j], fades);
+    for (index_t a = 0; a < parameters; ++a) {
+      const real sa = sensitivities[j * parameters + a];
+      if (sa == 0.0) continue;
+      for (index_t b = 0; b < parameters; ++b)
+        fim(a, b) += cx{info * sa * sensitivities[j * parameters + b], 0.0};
+    }
+  }
+  return fim;
+}
+
+real scalar_crb(real lambda, index_t measurements, index_t fades) {
+  MMW_REQUIRE(measurements >= 1);
+  return 1.0 / (static_cast<real>(measurements) *
+                energy_fisher_information(lambda, fades));
+}
+
+real probe_information_score(const linalg::Matrix& q_hat,
+                             const linalg::Vector& v, real gamma,
+                             index_t fades) {
+  MMW_REQUIRE(gamma > 0.0);
+  const real lambda = expected_energy(q_hat, v, gamma);
+  return energy_fisher_information(lambda, fades);
+}
+
+}  // namespace mmw::estimation

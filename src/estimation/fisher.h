@@ -1,0 +1,45 @@
+// Fisher information and Cramér–Rao bounds for the beam-energy measurement
+// model. Each measurement energy is exponentially distributed with mean
+// λ_j(Q) = v_jᴴ(Q + γ⁻¹I)v_j (paper eqs. 12–14, K·χ²/2K for K fades), so
+// the information each beam carries about a scalar channel feature is
+// computable in closed form — the yardstick the estimators are judged by,
+// and a principled way to score candidate probe beams.
+#pragma once
+
+#include <span>
+
+#include "estimation/measurement_model.h"
+
+namespace mmw::estimation {
+
+/// Fisher information of a single K-fade-averaged energy measurement about
+/// its own mean λ: I(λ) = K/λ². Preconditions: lambda > 0, fades ≥ 1.
+real energy_fisher_information(real lambda, index_t fades = 1);
+
+/// Fisher information matrix about a scalar parameter vector θ that enters
+/// the means linearly: λ_j = Σ_t θ_t·s_{jt} + 1/γ with known sensitivities
+/// s. Entry (a,b) = Σ_j K·s_{ja}s_{jb}/λ_j². Used for codebook-domain
+/// covariance coefficients (θ_t = power on beam t, s_{jt} = |v_jᴴc_t|²).
+///
+/// Preconditions: sensitivity row count divides evenly into measurements
+/// (row-major J×T), all λ_j > 0.
+linalg::Matrix linear_model_fisher_matrix(
+    std::span<const real> sensitivities, index_t parameters,
+    std::span<const real> lambdas, index_t fades = 1);
+
+/// Cramér–Rao lower bound on the variance of any unbiased estimate of the
+/// single scalar λ from J iid K-fade measurements: λ²/(J·K).
+real scalar_crb(real lambda, index_t measurements, index_t fades = 1);
+
+/// Information-theoretic probe score of a candidate RX beam v under a prior
+/// covariance guess Q̂: the Fisher information the measurement would carry
+/// about the beam's own Rayleigh quotient, K/λ(Q̂,v)² · (∂λ/∂q)² with the
+/// natural ∂λ/∂q = 1 parameterization — i.e. beams whose predicted energy
+/// is close to the noise floor are the most informative per unit energy.
+/// (The paper instead probes the top Rayleigh quotients — exploitation;
+/// this score is the exploration-optimal alternative, used in tests.)
+real probe_information_score(const linalg::Matrix& q_hat,
+                             const linalg::Vector& v, real gamma,
+                             index_t fades = 1);
+
+}  // namespace mmw::estimation

@@ -1,0 +1,54 @@
+// Generic low-rank matrix completion — the substrate technique the paper
+// builds its covariance estimator on ([15] Keshavan et al., [18] nuclear-norm
+// penalization). Recovers a low-rank matrix from a subset of its entries.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mmw::estimation {
+
+/// One observed entry of the matrix being completed.
+struct ObservedEntry {
+  index_t row = 0;
+  index_t col = 0;
+  cx value;
+};
+
+/// Singular-value shrinkage operator D_τ(X) = U·max(σ−τ, 0)·Vᴴ — the
+/// proximal operator of τ‖·‖₁ for general (non-Hermitian) matrices.
+linalg::Matrix singular_value_shrink(const linalg::Matrix& x, real tau);
+
+struct MatrixCompletionOptions {
+  real tau = 0.0;          ///< shrinkage threshold; 0 → heuristic 5·√(n₁n₂)
+  real step = 1.2;         ///< SVT dual step δ (relative to n₁n₂/|Ω|)
+  int max_iterations = 1500;
+  real tolerance = 1e-4;   ///< relative residual on observed entries
+};
+
+struct MatrixCompletionResult {
+  linalg::Matrix x;
+  int iterations = 0;
+  bool converged = false;
+  real relative_residual = 0.0;  ///< ‖P_Ω(X−M)‖_F / ‖P_Ω(M)‖_F
+};
+
+/// Singular Value Thresholding (Cai, Candès & Shen): dual ascent
+///   X^k = D_τ(Y^{k−1}),  Y^k = Y^{k−1} + δ·P_Ω(M − X^k).
+/// Preconditions: at least one observed entry; entries in range; no
+/// duplicate (row, col) pairs.
+MatrixCompletionResult complete_svt(index_t rows, index_t cols,
+                                    std::span<const ObservedEntry> entries,
+                                    const MatrixCompletionOptions& options = {});
+
+/// Soft-Impute (proximal gradient / Mazumder et al.):
+///   X ← D_τ(X + P_Ω(M − X)).
+/// Slower per-iteration contraction than SVT on easy problems but robust to
+/// noisy observations.
+MatrixCompletionResult complete_soft_impute(
+    index_t rows, index_t cols, std::span<const ObservedEntry> entries,
+    const MatrixCompletionOptions& options = {});
+
+}  // namespace mmw::estimation

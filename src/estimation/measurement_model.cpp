@@ -1,0 +1,25 @@
+#include "estimation/measurement_model.h"
+
+#include <cmath>
+
+namespace mmw::estimation {
+
+real expected_energy(const linalg::Matrix& q, const linalg::Vector& v,
+                     real gamma) {
+  MMW_REQUIRE(gamma > 0.0);
+  return linalg::hermitian_form(v, q) + v.squared_norm() / gamma;
+}
+
+real negative_log_likelihood(const linalg::Matrix& q,
+                             std::span<const BeamMeasurement> measurements,
+                             real gamma) {
+  real acc = 0.0;
+  for (const BeamMeasurement& m : measurements) {
+    const real lambda = expected_energy(q, m.beam, gamma);
+    MMW_REQUIRE_MSG(lambda > 0.0, "non-positive predicted energy");
+    acc += std::log(lambda) + m.energy / lambda;
+  }
+  return acc;
+}
+
+}  // namespace mmw::estimation

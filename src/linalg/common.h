@@ -1,0 +1,54 @@
+// Common scalar types and contract-checking utilities shared by all modules.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace mmw {
+
+/// The scalar type used throughout the library: double-precision complex.
+using cx = std::complex<double>;
+
+/// Real scalar type.
+using real = double;
+
+/// Index type for matrix/vector dimensions.
+using index_t = std::size_t;
+
+/// Thrown when a documented precondition of a public API is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an iterative numerical routine fails to converge.
+class convergence_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw precondition_error(std::string("precondition failed: ") + expr +
+                           " at " + file + ":" + std::to_string(line) +
+                           (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace mmw
+
+/// Precondition check that always fires (also in release builds): numerical
+/// code misbehaving silently on bad shapes is far worse than the branch cost.
+#define MMW_REQUIRE(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::mmw::detail::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MMW_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::mmw::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,200 @@
+// Hermitian eigensolver via Householder tridiagonalization + implicit QL.
+//
+// Pipeline: A (complex Hermitian)
+//   → Householder similarity to complex-Hermitian tridiagonal
+//   → diagonal phase similarity making the off-diagonal real non-negative
+//   → implicit QL with Wilkinson shifts on the real tridiagonal,
+// with all transforms accumulated into a complex unitary Z, so finally
+// A = Z diag(λ) Zᴴ.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/eig.h"
+
+namespace mmw::linalg {
+
+namespace {
+
+/// Householder reduction of Hermitian `a` (modified in place) to
+/// tridiagonal form; `z` accumulates the unitary similarity.
+/// Afterwards only a's diagonal and first off-diagonal are meaningful.
+void householder_tridiagonalize(Matrix& a, Matrix& z) {
+  const index_t n = a.rows();
+  Vector u(n), p(n), w(n);
+
+  for (index_t k = 0; k + 2 < n; ++k) {
+    // x = a[k+1 .. n-1, k]; reflect it onto ±e1.
+    real xnorm_sq = 0.0;
+    for (index_t i = k + 1; i < n; ++i) xnorm_sq += std::norm(a(i, k));
+    const real xnorm = std::sqrt(xnorm_sq);
+    if (xnorm == 0.0) continue;
+
+    const cx x1 = a(k + 1, k);
+    // alpha = −e^{i·arg(x1)}·‖x‖ so that v = x − α·e1 never cancels.
+    const cx phase = (x1 == cx{0.0, 0.0}) ? cx{1.0, 0.0} : x1 / std::abs(x1);
+    const cx alpha = -phase * xnorm;
+
+    // u = (x − α e1) normalized.
+    real unorm_sq = 0.0;
+    for (index_t i = k + 1; i < n; ++i) {
+      u[i] = a(i, k) - ((i == k + 1) ? alpha : cx{0.0, 0.0});
+      unorm_sq += std::norm(u[i]);
+    }
+    if (unorm_sq == 0.0) continue;
+    const real inv_unorm = 1.0 / std::sqrt(unorm_sq);
+    for (index_t i = k + 1; i < n; ++i) u[i] *= inv_unorm;
+
+    // p = A u on the trailing block.
+    for (index_t i = k + 1; i < n; ++i) {
+      cx acc{0.0, 0.0};
+      for (index_t j = k + 1; j < n; ++j) acc += a(i, j) * u[j];
+      p[i] = acc;
+    }
+    // c = uᴴ p (real for Hermitian A); w = 2p − 2c·u.
+    cx c{0.0, 0.0};
+    for (index_t i = k + 1; i < n; ++i) c += std::conj(u[i]) * p[i];
+    for (index_t i = k + 1; i < n; ++i)
+      w[i] = 2.0 * p[i] - 2.0 * c * u[i];
+
+    // Trailing block: A ← A − u wᴴ − w uᴴ.
+    for (index_t i = k + 1; i < n; ++i)
+      for (index_t j = k + 1; j < n; ++j)
+        a(i, j) -= u[i] * std::conj(w[j]) + w[i] * std::conj(u[j]);
+
+    // Column k: x ← α e1 (and the Hermitian mirror row).
+    a(k + 1, k) = alpha;
+    a(k, k + 1) = std::conj(alpha);
+    for (index_t i = k + 2; i < n; ++i) {
+      a(i, k) = cx{0.0, 0.0};
+      a(k, i) = cx{0.0, 0.0};
+    }
+
+    // Accumulate: Z ← Z (I − 2uuᴴ), i.e. columns k+1.. of Z get updated.
+    for (index_t r = 0; r < n; ++r) {
+      cx acc{0.0, 0.0};
+      for (index_t j = k + 1; j < n; ++j) acc += z(r, j) * u[j];
+      acc *= 2.0;
+      for (index_t j = k + 1; j < n; ++j)
+        z(r, j) -= acc * std::conj(u[j]);
+    }
+  }
+}
+
+/// Implicit QL with Wilkinson shifts on a real symmetric tridiagonal
+/// (d = diagonal, e = subdiagonal, e[n-1] unused), rotations accumulated
+/// into the complex matrix z. Numerical-Recipes tqli structure.
+void tridiagonal_ql(std::vector<real>& d, std::vector<real>& e, Matrix& z) {
+  const index_t n = d.size();
+  if (n == 0) return;
+  e[n - 1] = 0.0;
+
+  for (index_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    index_t m;
+    do {
+      // Find the first negligible subdiagonal at or above l.
+      for (m = l; m + 1 < n; ++m) {
+        const real dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m == l) break;
+      if (++iterations > 50)
+        throw convergence_error("hermitian_eig_ql: QL iteration stalled");
+
+      // Wilkinson shift.
+      real g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      real r = std::hypot(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+      real s = 1.0, c = 1.0, p = 0.0;
+
+      bool underflow = false;
+      for (index_t i = m; i-- > l;) {
+        real f = s * e[i];
+        const real b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          // Rotation annihilated early: restart the sweep for this l.
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          underflow = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        // Accumulate the rotation into columns i, i+1 of z.
+        for (index_t k = 0; k < z.rows(); ++k) {
+          const cx zk1 = z(k, i + 1);
+          const cx zk0 = z(k, i);
+          z(k, i + 1) = s * zk0 + c * zk1;
+          z(k, i) = c * zk0 - s * zk1;
+        }
+      }
+      if (underflow) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+EigResult hermitian_eig_ql(const Matrix& a_in, real hermitian_tol) {
+  MMW_REQUIRE_MSG(a_in.is_square(),
+                  "hermitian_eig_ql requires a square matrix");
+  const real scale = std::max(a_in.frobenius_norm(), 1e-300);
+  MMW_REQUIRE_MSG(a_in.is_hermitian(hermitian_tol * std::max(1.0, scale)),
+                  "hermitian_eig_ql requires a Hermitian matrix");
+
+  const index_t n = a_in.rows();
+  Matrix a = (a_in + a_in.adjoint()) * cx{0.5, 0.0};
+  Matrix z = Matrix::identity(n);
+  householder_tridiagonalize(a, z);
+
+  // Phase similarity: make the (complex) subdiagonal real non-negative.
+  // With D = diag(e^{iψ_0}, …), (Dᴴ T D)_{i+1,i} = e^{-iψ_{i+1}} t e^{iψ_i};
+  // choose ψ cumulatively and fold D into Z (columns scale by e^{iψ_j}).
+  std::vector<real> d(n), e(n, 0.0);
+  cx psi{1.0, 0.0};  // e^{iψ_j}, built incrementally
+  for (index_t i = 0; i < n; ++i) {
+    d[i] = a(i, i).real();
+    if (i + 1 < n) {
+      const cx t = a(i + 1, i);
+      const real mag = std::abs(t);
+      // e^{iψ_{i+1}} = e^{iψ_i} · t/|t| makes the transformed entry |t|.
+      const cx next_psi = (mag == 0.0) ? psi : psi * (t / mag);
+      e[i] = mag;
+      // Fold the phase into Z's column i (current ψ) now.
+      for (index_t r = 0; r < n; ++r) z(r, i) *= psi;
+      psi = next_psi;
+    } else {
+      for (index_t r = 0; r < n; ++r) z(r, i) *= psi;
+    }
+  }
+
+  tridiagonal_ql(d, e, z);
+
+  // Sort eigenpairs descending.
+  std::vector<index_t> order(n);
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](index_t x, index_t y) { return d[x] > d[y]; });
+
+  EigResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (index_t k = 0; k < n; ++k) {
+    result.eigenvalues[k] = d[order[k]];
+    result.eigenvectors.set_col(k, z.col(order[k]));
+  }
+  return result;
+}
+
+}  // namespace mmw::linalg

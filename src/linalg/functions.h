@@ -1,0 +1,41 @@
+// Matrix functions built on the Hermitian eigendecomposition: PSD projection,
+// square roots, nuclear-norm proximal operator, matrix norms and rank.
+#pragma once
+
+#include "linalg/eig.h"
+#include "linalg/matrix.h"
+
+namespace mmw::linalg {
+
+/// Projection of a Hermitian matrix onto the PSD cone: negative eigenvalues
+/// are clipped to zero. This is the Euclidean (Frobenius) projection.
+Matrix psd_project(const Matrix& a);
+
+/// Hermitian PSD square root: returns S with S·S = A, S Hermitian PSD.
+/// Eigenvalues slightly negative from rounding are clipped to zero.
+Matrix hermitian_sqrt(const Matrix& a);
+
+/// Proximal operator of μ‖·‖₁ (eigenvalue soft-thresholding) restricted to
+/// the PSD cone:  prox(A) = V diag(max(λ − μ, 0)) Vᴴ.
+///
+/// For Hermitian PSD matrices the nuclear norm equals the trace, and this is
+/// exactly the prox of μ‖·‖₁ composed with PSD projection — the update used
+/// by the regularized ML covariance solver (paper eq. 23).
+Matrix eigenvalue_soft_threshold(const Matrix& a, real mu);
+
+/// Nuclear norm ‖A‖₁ = Σσᵢ (sum of singular values).
+real nuclear_norm(const Matrix& a);
+
+/// Spectral norm ‖A‖₂ = σ_max.
+real spectral_norm(const Matrix& a);
+
+/// Numerical rank: number of singular values above `rel_tol · σ_max`.
+index_t numerical_rank(const Matrix& a, real rel_tol = 1e-9);
+
+/// Kronecker product A ⊗ B.
+Matrix kronecker(const Matrix& a, const Matrix& b);
+
+/// Best rank-k approximation in Frobenius norm (truncated SVD).
+Matrix low_rank_approximation(const Matrix& a, index_t k);
+
+}  // namespace mmw::linalg

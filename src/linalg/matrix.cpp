@@ -1,0 +1,201 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmw::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<cx>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    MMW_REQUIRE_MSG(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+cx& Matrix::at(index_t i, index_t j) {
+  MMW_REQUIRE_MSG(i < rows_ && j < cols_, "matrix index out of range");
+  return (*this)(i, j);
+}
+
+const cx& Matrix::at(index_t i, index_t j) const {
+  MMW_REQUIRE_MSG(i < rows_ && j < cols_, "matrix index out of range");
+  return (*this)(i, j);
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  MMW_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (index_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  MMW_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (index_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(cx scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::operator/=(cx scalar) {
+  MMW_REQUIRE_MSG(std::abs(scalar) > 0.0, "division by zero");
+  for (auto& v : data_) v /= scalar;
+  return *this;
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix out(cols_, rows_);
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t j = 0; j < cols_; ++j) out(j, i) = std::conj((*this)(i, j));
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::conjugate() const {
+  Matrix out(rows_, cols_);
+  for (index_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = std::conj(data_[i]);
+  return out;
+}
+
+cx Matrix::trace() const {
+  MMW_REQUIRE_MSG(is_square(), "trace requires a square matrix");
+  cx acc{0.0, 0.0};
+  for (index_t i = 0; i < rows_; ++i) acc += (*this)(i, i);
+  return acc;
+}
+
+real Matrix::frobenius_norm() const {
+  real acc = 0.0;
+  for (const auto& v : data_) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+real Matrix::max_abs() const {
+  real m = 0.0;
+  for (const auto& v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Vector Matrix::col(index_t j) const {
+  MMW_REQUIRE(j < cols_);
+  Vector out(rows_);
+  for (index_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+Vector Matrix::row(index_t i) const {
+  MMW_REQUIRE(i < rows_);
+  Vector out(cols_);
+  for (index_t j = 0; j < cols_; ++j) out[j] = (*this)(i, j);
+  return out;
+}
+
+void Matrix::set_col(index_t j, const Vector& v) {
+  MMW_REQUIRE(j < cols_ && v.size() == rows_);
+  for (index_t i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+}
+
+void Matrix::set_row(index_t i, const Vector& v) {
+  MMW_REQUIRE(i < rows_ && v.size() == cols_);
+  for (index_t j = 0; j < cols_; ++j) (*this)(i, j) = v[j];
+}
+
+bool Matrix::is_hermitian(real tol) const {
+  if (!is_square()) return false;
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t j = i; j < cols_; ++j)
+      if (std::abs((*this)(i, j) - std::conj((*this)(j, i))) > tol)
+        return false;
+  return true;
+}
+
+Matrix Matrix::identity(index_t n) {
+  Matrix out(n, n);
+  for (index_t i = 0; i < n; ++i) out(i, i) = cx{1.0, 0.0};
+  return out;
+}
+
+Matrix Matrix::diagonal(std::span<const real> entries) {
+  Matrix out(entries.size(), entries.size());
+  for (index_t i = 0; i < entries.size(); ++i)
+    out(i, i) = cx{entries[i], 0.0};
+  return out;
+}
+
+Matrix Matrix::diagonal(std::span<const cx> entries) {
+  Matrix out(entries.size(), entries.size());
+  for (index_t i = 0; i < entries.size(); ++i) out(i, i) = entries[i];
+  return out;
+}
+
+Matrix Matrix::outer(const Vector& a, const Vector& b) {
+  Matrix out(a.size(), b.size());
+  for (index_t i = 0; i < a.size(); ++i)
+    for (index_t j = 0; j < b.size(); ++j)
+      out(i, j) = a[i] * std::conj(b[j]);
+  return out;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix m, cx scalar) { return m *= scalar; }
+Matrix operator*(cx scalar, Matrix m) { return m *= scalar; }
+Matrix operator/(Matrix m, cx scalar) { return m /= scalar; }
+
+Matrix operator-(Matrix m) {
+  for (auto& v : m.data()) v = -v;
+  return m;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  MMW_REQUIRE_MSG(a.cols() == b.rows(), "matrix product shape mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t k = 0; k < a.cols(); ++k) {
+      const cx aik = a(i, k);
+      if (aik == cx{0.0, 0.0}) continue;
+      for (index_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Vector operator*(const Matrix& a, const Vector& v) {
+  MMW_REQUIRE_MSG(a.cols() == v.size(), "matrix-vector shape mismatch");
+  Vector out(a.rows());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    cx acc{0.0, 0.0};
+    for (index_t j = 0; j < a.cols(); ++j) acc += a(i, j) * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, real tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return (a - b).frobenius_norm() <= tol;
+}
+
+cx quadratic_form(const Vector& a, const Matrix& m, const Vector& b) {
+  MMW_REQUIRE(a.size() == m.rows() && b.size() == m.cols());
+  return dot(a, m * b);
+}
+
+real hermitian_form(const Vector& v, const Matrix& m) {
+  MMW_REQUIRE(m.is_square());
+  return quadratic_form(v, m, v).real();
+}
+
+}  // namespace mmw::linalg

@@ -1,0 +1,81 @@
+#include "mac/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmw::mac {
+
+Session::Session(const channel::Link& link,
+                 const antenna::Codebook& tx_codebook,
+                 const antenna::Codebook& rx_codebook, real gamma,
+                 index_t budget, randgen::Rng& rng,
+                 index_t fades_per_measurement)
+    : link_(&link),
+      tx_codebook_(&tx_codebook),
+      rx_codebook_(&rx_codebook),
+      gamma_(gamma),
+      budget_(std::min(budget, tx_codebook.size() * rx_codebook.size())),
+      fades_(fades_per_measurement),
+      rng_(&rng),
+      measured_(tx_codebook.size() * rx_codebook.size(), false) {
+  MMW_REQUIRE_MSG(gamma > 0.0, "SNR gamma must be positive");
+  MMW_REQUIRE_MSG(budget > 0, "measurement budget must be positive");
+  MMW_REQUIRE_MSG(fades_per_measurement > 0,
+                  "need at least one fade per measurement");
+  MMW_REQUIRE_MSG(tx_codebook.codeword(0).size() == link.tx_size(),
+                  "TX codebook does not match the TX array");
+  MMW_REQUIRE_MSG(rx_codebook.codeword(0).size() == link.rx_size(),
+                  "RX codebook does not match the RX array");
+}
+
+bool Session::has_measured(index_t tx_beam, index_t rx_beam) const {
+  MMW_REQUIRE(tx_beam < tx_codebook_->size());
+  MMW_REQUIRE(rx_beam < rx_codebook_->size());
+  return measured_[tx_beam * rx_codebook_->size() + rx_beam];
+}
+
+void Session::set_blockage_probability(real p) {
+  MMW_REQUIRE_MSG(p >= 0.0 && p <= 1.0,
+                  "blockage probability must be in [0, 1]");
+  MMW_REQUIRE_MSG(records_.empty(),
+                  "blockage must be configured before training starts");
+  blockage_probability_ = p;
+}
+
+real Session::measure(index_t tx_beam, index_t rx_beam) {
+  MMW_REQUIRE_MSG(!exhausted(), "measurement budget exhausted");
+  MMW_REQUIRE_MSG(!has_measured(tx_beam, rx_beam),
+                  "beam pair measured twice");
+
+  const linalg::Vector& u = tx_codebook_->codeword(tx_beam);
+  const linalg::Vector& v = rx_codebook_->codeword(rx_beam);
+  // Blockage shadows the whole measurement slot, not individual fades.
+  const bool blocked = blockage_probability_ > 0.0 &&
+                       rng_->uniform() < blockage_probability_;
+  // Average matched-filter energy over the slot's independent fades.
+  real energy = 0.0;
+  for (index_t k = 0; k < fades_; ++k) {
+    cx z = rng_->complex_normal(1.0 / gamma_);
+    if (!blocked) {
+      const linalg::Vector h = link_->draw_effective_channel(u, *rng_);
+      z += linalg::dot(v, h);
+    }
+    energy += std::norm(z);
+  }
+  energy /= static_cast<real>(fades_);
+
+  measured_[tx_beam * rx_codebook_->size() + rx_beam] = true;
+  records_.push_back({tx_beam, rx_beam, energy});
+  return energy;
+}
+
+std::optional<MeasurementRecord> Session::best_measured() const {
+  if (records_.empty()) return std::nullopt;
+  return *std::max_element(records_.begin(), records_.end(),
+                           [](const MeasurementRecord& a,
+                              const MeasurementRecord& b) {
+                             return a.energy < b.energy;
+                           });
+}
+
+}  // namespace mmw::mac

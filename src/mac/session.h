@@ -1,0 +1,92 @@
+// The MAC-layer measurement session: the interface an alignment strategy
+// uses to train beam pairs. It owns the measurement budget, the no-repeat
+// ledger, and the noisy matched-filter measurement chain (paper Sec. III-B).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "antenna/codebook.h"
+#include "channel/link.h"
+#include "randgen/rng.h"
+
+namespace mmw::mac {
+
+/// One completed beam-pair measurement.
+struct MeasurementRecord {
+  index_t tx_beam = 0;   ///< index into the TX codebook (u_i)
+  index_t rx_beam = 0;   ///< index into the RX codebook (v_j)
+  real energy = 0.0;     ///< matched-filter energy |z|²
+};
+
+/// A beam-training session over one realized link.
+///
+/// Each measure() call simulates the full chain of paper eqs. (4)–(10):
+/// the TX dwells on codeword u, the RX points codeword v, the channel fades
+/// independently (H_j iid), and the matched filter yields
+///   z = vᴴ H u + n,   n ~ CN(0, 1/γ).
+/// A measurement slot spans `fades_per_measurement` independent fades
+/// (OFDM-style frequency/time diversity within the slot); the recorded
+/// energy is the average of the per-fade |z|², so its mean is the paper's
+/// λ = vᴴ(Q_u + γ⁻¹I)v with relative spread 1/√K. K = 1 reproduces the
+/// strict single-sample model of eq. (9); the paper's premise that a 100%
+/// scan finds the optimal pair with no loss requires K ≫ 1.
+///
+/// Beam pairs are never measured twice (paper Sec. V: "if a beam pair has
+/// already been measured, it will no longer be measured") — a repeat is a
+/// strategy bug and throws.
+class Session {
+ public:
+  /// `budget` is L, the total number of measurements allowed; it is clamped
+  /// to the codebook product T = |U|·|V|.
+  Session(const channel::Link& link, const antenna::Codebook& tx_codebook,
+          const antenna::Codebook& rx_codebook, real gamma, index_t budget,
+          randgen::Rng& rng, index_t fades_per_measurement = 1);
+
+  const antenna::Codebook& tx_codebook() const { return *tx_codebook_; }
+  const antenna::Codebook& rx_codebook() const { return *rx_codebook_; }
+  real gamma() const { return gamma_; }
+  index_t fades_per_measurement() const { return fades_; }
+  randgen::Rng& rng() { return *rng_; }
+
+  index_t budget() const { return budget_; }
+  index_t measurements_taken() const { return records_.size(); }
+  index_t remaining_budget() const { return budget_ - records_.size(); }
+  bool exhausted() const { return remaining_budget() == 0; }
+
+  bool has_measured(index_t tx_beam, index_t rx_beam) const;
+
+  /// Failure injection: with this probability a measurement slot is
+  /// blocked — the mmWave path is shadowed (a passing pedestrian/vehicle)
+  /// and the matched filter sees noise only. Models the blockage events
+  /// mmWave links are notorious for. Default 0 (no blockage).
+  /// Precondition: 0 ≤ p ≤ 1. Must be set before training starts.
+  void set_blockage_probability(real p);
+  real blockage_probability() const { return blockage_probability_; }
+
+  /// Performs one measurement and returns the observed energy |z|².
+  /// Preconditions: budget not exhausted, indices valid, pair unmeasured.
+  real measure(index_t tx_beam, index_t rx_beam);
+
+  /// All measurements, in the order they were taken.
+  const std::vector<MeasurementRecord>& records() const { return records_; }
+
+  /// The pair with the highest measured energy so far (the best pair a
+  /// receiver can claim from its observations, paper eq. 30), or nullopt if
+  /// nothing has been measured.
+  std::optional<MeasurementRecord> best_measured() const;
+
+ private:
+  const channel::Link* link_;
+  const antenna::Codebook* tx_codebook_;
+  const antenna::Codebook* rx_codebook_;
+  real gamma_;
+  index_t budget_;
+  index_t fades_;
+  real blockage_probability_ = 0.0;
+  randgen::Rng* rng_;
+  std::vector<MeasurementRecord> records_;
+  std::vector<bool> measured_;  ///< tx_beam·|V| + rx_beam
+};
+
+}  // namespace mmw::mac

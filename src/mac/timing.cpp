@@ -1,0 +1,35 @@
+#include "mac/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmw::mac {
+
+real ProtocolTiming::alignment_latency_us(index_t measurements,
+                                          index_t tx_slots) const {
+  if (measurements == 0) return 0.0;
+  MMW_REQUIRE_MSG(tx_slots >= 1, "need at least one TX-slot");
+  MMW_REQUIRE_MSG(measurements >= tx_slots,
+                  "more TX-slots than measurements");
+  return static_cast<real>(measurements) *
+             (measurement_slot_us + beam_switch_us) +
+         static_cast<real>(tx_slots) * (feedback_slot_us + estimation_us);
+}
+
+real ProtocolTiming::overhead_fraction(index_t measurements,
+                                       index_t tx_slots,
+                                       real frame_us) const {
+  MMW_REQUIRE_MSG(frame_us > 0.0, "frame duration must be positive");
+  return std::clamp(alignment_latency_us(measurements, tx_slots) / frame_us,
+                    0.0, 1.0);
+}
+
+real ProtocolTiming::net_spectral_efficiency(index_t measurements,
+                                             index_t tx_slots, real frame_us,
+                                             real post_beamforming_snr) const {
+  MMW_REQUIRE_MSG(post_beamforming_snr >= 0.0, "SNR must be non-negative");
+  const real overhead = overhead_fraction(measurements, tx_slots, frame_us);
+  return (1.0 - overhead) * std::log2(1.0 + post_beamforming_snr);
+}
+
+}  // namespace mmw::mac

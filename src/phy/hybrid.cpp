@@ -1,0 +1,99 @@
+#include "phy/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/decompositions.h"
+#include "linalg/eig.h"
+
+namespace mmw::phy {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix optimal_digital_precoder(const Matrix& h, index_t n_streams) {
+  MMW_REQUIRE_MSG(!h.empty(), "empty channel matrix");
+  MMW_REQUIRE(n_streams >= 1 &&
+              n_streams <= std::min(h.rows(), h.cols()));
+  const auto svd = linalg::svd(h);
+  Matrix f(h.cols(), n_streams);
+  for (index_t s = 0; s < n_streams; ++s) f.set_col(s, svd.v.col(s));
+  return f;
+}
+
+HybridPrecoderResult design_hybrid_precoder(
+    const Matrix& h, index_t n_streams, index_t n_rf,
+    std::span<const Vector> dictionary) {
+  MMW_REQUIRE_MSG(!dictionary.empty(), "empty dictionary");
+  MMW_REQUIRE(n_streams >= 1 && n_streams <= n_rf);
+  MMW_REQUIRE_MSG(n_rf <= dictionary.size(),
+                  "more RF chains than dictionary atoms");
+  const index_t m = h.cols();
+  for (const Vector& a : dictionary)
+    MMW_REQUIRE_MSG(a.size() == m, "dictionary atom dimension mismatch");
+
+  const Matrix f_opt = optimal_digital_precoder(h, n_streams);
+  const real f_opt_norm = f_opt.frobenius_norm();
+
+  HybridPrecoderResult result;
+  result.f_rf = Matrix(m, 0);
+  Matrix residual = f_opt;
+  std::vector<bool> used(dictionary.size(), false);
+  Matrix f_bb;
+
+  for (index_t r = 0; r < n_rf; ++r) {
+    // Select the atom most correlated with the residual subspace.
+    index_t best = dictionary.size();
+    real best_score = -1.0;
+    for (index_t a = 0; a < dictionary.size(); ++a) {
+      if (used[a]) continue;
+      real score = 0.0;
+      for (index_t s = 0; s < residual.cols(); ++s)
+        score += std::norm(linalg::dot(dictionary[a], residual.col(s)));
+      if (score > best_score) {
+        best_score = score;
+        best = a;
+      }
+    }
+    if (best == dictionary.size()) break;
+    used[best] = true;
+    result.atom_indices.push_back(best);
+
+    // Grow F_RF and refit F_BB = argmin ‖F_opt − F_RF F_BB‖_F column-wise.
+    Matrix f_rf(m, result.atom_indices.size());
+    for (index_t c = 0; c < result.atom_indices.size(); ++c)
+      f_rf.set_col(c, dictionary[result.atom_indices[c]]);
+    f_bb = Matrix(result.atom_indices.size(), n_streams);
+    for (index_t s = 0; s < n_streams; ++s)
+      f_bb.set_col(s, linalg::least_squares(f_rf, f_opt.col(s)));
+    residual = f_opt - f_rf * f_bb;
+    result.f_rf = std::move(f_rf);
+  }
+
+  // Power normalization: ‖F_RF F_BB‖_F = √n_streams.
+  const Matrix combined = result.f_rf * f_bb;
+  const real norm = combined.frobenius_norm();
+  MMW_REQUIRE_MSG(norm > 0.0, "degenerate hybrid precoder");
+  result.f_bb =
+      f_bb * cx{std::sqrt(static_cast<real>(n_streams)) / norm, 0.0};
+  result.approximation_error = residual.frobenius_norm() / f_opt_norm;
+  return result;
+}
+
+real precoded_spectral_efficiency(const Matrix& h, const Matrix& f,
+                                  real total_power) {
+  MMW_REQUIRE(f.rows() == h.cols());
+  MMW_REQUIRE_MSG(total_power > 0.0, "power must be positive");
+  const index_t n_streams = f.cols();
+  MMW_REQUIRE(n_streams >= 1);
+  const Matrix heff = h * f;  // N × n_streams
+  // log2 det(I + (P/ns)·Heffᴴ Heff) — use the smaller Gram matrix.
+  Matrix gram = heff.adjoint() * heff;
+  gram *= cx{total_power / static_cast<real>(n_streams), 0.0};
+  gram += Matrix::identity(n_streams);
+  const cx det = linalg::determinant(gram);
+  // The Gram matrix is Hermitian PSD + I: determinant is real positive.
+  return std::log2(std::max(det.real(), 1e-300));
+}
+
+}  // namespace mmw::phy

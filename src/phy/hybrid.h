@@ -1,0 +1,47 @@
+// Hybrid analog/digital precoding via spatially sparse approximation
+// (Orthogonal Matching Pursuit over a steering dictionary — the El Ayach /
+// Heath construction). A mmWave transmitter with only n_rf RF chains
+// implements F = F_RF · F_BB where F_RF's columns are analog
+// (steering-vector) beams and F_BB is a small digital mixer; on sparse
+// channels a handful of RF chains recovers almost all of the fully-digital
+// precoder's spectral efficiency.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mmw::phy {
+
+struct HybridPrecoderResult {
+  std::vector<index_t> atom_indices;  ///< dictionary columns used by F_RF
+  linalg::Matrix f_rf;  ///< M × n_rf analog beamformer (unit-norm columns)
+  linalg::Matrix f_bb;  ///< n_rf × n_streams digital mixer
+  real approximation_error = 0.0;  ///< ‖F_opt − F_RF F_BB‖_F / ‖F_opt‖_F
+};
+
+/// Designs a hybrid precoder approximating the optimal fully-digital one
+/// (the top-`n_streams` right singular vectors of H) using `n_rf` analog
+/// beams drawn from `dictionary`. The combined precoder is normalized to
+/// ‖F_RF F_BB‖_F² = n_streams (total power constraint).
+///
+/// Preconditions: 1 ≤ n_streams ≤ n_rf ≤ dictionary.size(); dictionary
+/// vectors sized to H's columns; H non-empty.
+HybridPrecoderResult design_hybrid_precoder(
+    const linalg::Matrix& h, index_t n_streams, index_t n_rf,
+    std::span<const linalg::Vector> dictionary);
+
+/// Spectral efficiency (bit/s/Hz) of transmitting n_streams equal-power
+/// streams through precoder F over channel H with unit noise:
+///   log2 det(I + (P/n_streams)·(H F)(H F)ᴴ).
+/// Preconditions: F = f (M × n_streams) shaped to H, total_power > 0.
+real precoded_spectral_efficiency(const linalg::Matrix& h,
+                                  const linalg::Matrix& f, real total_power);
+
+/// The fully-digital reference: the optimal rank-n_streams precoder
+/// (top right singular vectors, waterfilling-free equal power).
+linalg::Matrix optimal_digital_precoder(const linalg::Matrix& h,
+                                        index_t n_streams);
+
+}  // namespace mmw::phy

@@ -1,0 +1,97 @@
+#include "randgen/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mmw::randgen {
+
+Rng Rng::fork() {
+  // A fresh 64-bit draw seeds an independent child engine; mt19937_64
+  // streams seeded from distinct values are statistically independent for
+  // simulation purposes.
+  return Rng(engine_());
+}
+
+real Rng::uniform(real lo, real hi) {
+  MMW_REQUIRE(lo <= hi);
+  return std::uniform_real_distribution<real>(lo, hi)(engine_);
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  MMW_REQUIRE(lo <= hi);
+  return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+}
+
+real Rng::normal(real mean, real stddev) {
+  MMW_REQUIRE(stddev >= 0.0);
+  return std::normal_distribution<real>(mean, stddev)(engine_);
+}
+
+cx Rng::complex_normal(real variance) {
+  MMW_REQUIRE(variance >= 0.0);
+  const real s = std::sqrt(variance / 2.0);
+  return cx{normal(0.0, s), normal(0.0, s)};
+}
+
+real Rng::chi_squared(real k) {
+  MMW_REQUIRE(k > 0.0);
+  return std::chi_squared_distribution<real>(k)(engine_);
+}
+
+real Rng::exponential(real mean) {
+  MMW_REQUIRE(mean > 0.0);
+  return std::exponential_distribution<real>(1.0 / mean)(engine_);
+}
+
+std::uint64_t Rng::poisson(real mean) {
+  MMW_REQUIRE(mean > 0.0);
+  return std::poisson_distribution<std::uint64_t>(mean)(engine_);
+}
+
+real Rng::lognormal(real mu, real sigma) {
+  MMW_REQUIRE(sigma >= 0.0);
+  return std::lognormal_distribution<real>(mu, sigma)(engine_);
+}
+
+real Rng::angle() { return uniform(0.0, 2.0 * M_PI); }
+
+linalg::Vector Rng::complex_gaussian_vector(index_t n, real variance) {
+  linalg::Vector v(n);
+  for (index_t i = 0; i < n; ++i) v[i] = complex_normal(variance);
+  return v;
+}
+
+linalg::Matrix Rng::complex_gaussian_matrix(index_t rows, index_t cols,
+                                            real variance) {
+  linalg::Matrix m(rows, cols);
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t j = 0; j < cols; ++j) m(i, j) = complex_normal(variance);
+  return m;
+}
+
+linalg::Vector Rng::random_unit_vector(index_t n) {
+  MMW_REQUIRE(n > 0);
+  linalg::Vector v = complex_gaussian_vector(n);
+  while (v.norm() == 0.0) v = complex_gaussian_vector(n);
+  return v.normalized();
+}
+
+std::vector<index_t> Rng::sample_without_replacement(index_t n, index_t k) {
+  MMW_REQUIRE(k <= n);
+  // Partial Fisher-Yates: only the first k positions are needed.
+  std::vector<index_t> pool(n);
+  std::iota(pool.begin(), pool.end(), index_t{0});
+  for (index_t i = 0; i < k; ++i) {
+    const index_t j = static_cast<index_t>(uniform_int(i, n - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<index_t> Rng::permutation(index_t n) {
+  return sample_without_replacement(n, n);
+}
+
+}  // namespace mmw::randgen

@@ -1,0 +1,75 @@
+// Seeded random number generation for reproducible Monte-Carlo simulation.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace mmw::randgen {
+
+/// Deterministic random source. Every stochastic component in the library
+/// takes an Rng& explicitly — there is no hidden global state — so any
+/// simulation is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derives an independent child stream; used to give each Monte-Carlo
+  /// trial its own stream so trials stay reproducible under reordering.
+  Rng fork();
+
+  /// Uniform real in [lo, hi).
+  real uniform(real lo = 0.0, real hi = 1.0);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// N(mean, stddev²) real Gaussian.
+  real normal(real mean = 0.0, real stddev = 1.0);
+
+  /// Circularly-symmetric complex Gaussian CN(0, variance):
+  /// real and imaginary parts are each N(0, variance/2), so E|x|² = variance.
+  cx complex_normal(real variance = 1.0);
+
+  /// Chi-squared with k degrees of freedom.
+  real chi_squared(real k);
+
+  /// Exponential with the given mean.
+  real exponential(real mean);
+
+  /// Poisson with the given mean.
+  std::uint64_t poisson(real mean);
+
+  /// Lognormal: exp(N(mu, sigma²)).
+  real lognormal(real mu, real sigma);
+
+  /// Uniform angle in [0, 2π).
+  real angle();
+
+  /// Vector of iid CN(0, variance) entries.
+  linalg::Vector complex_gaussian_vector(index_t n, real variance = 1.0);
+
+  /// Matrix of iid CN(0, variance) entries.
+  linalg::Matrix complex_gaussian_matrix(index_t rows, index_t cols,
+                                         real variance = 1.0);
+
+  /// Random unit-norm complex vector (Haar-uniform on the sphere).
+  linalg::Vector random_unit_vector(index_t n);
+
+  /// Uniformly random k-subset of {0, …, n−1}, in random order.
+  /// Precondition: k ≤ n.
+  std::vector<index_t> sample_without_replacement(index_t n, index_t k);
+
+  /// Random permutation of {0, …, n−1}.
+  std::vector<index_t> permutation(index_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mmw::randgen

@@ -1,0 +1,52 @@
+#include "sim/evaluation.h"
+
+#include <limits>
+
+namespace mmw::sim {
+
+mac::MeasurementRecord best_in_prefix(
+    std::span<const mac::MeasurementRecord> records, index_t count) {
+  MMW_REQUIRE_MSG(count >= 1 && count <= records.size(),
+                  "prefix length out of range");
+  mac::MeasurementRecord best = records[0];
+  for (index_t k = 1; k < count; ++k)
+    if (records[k].energy > best.energy) best = records[k];
+  return best;
+}
+
+real loss_after(const core::PairGainOracle& oracle,
+                std::span<const mac::MeasurementRecord> records,
+                index_t count) {
+  const mac::MeasurementRecord best = best_in_prefix(records, count);
+  return oracle.loss_db(best.tx_beam, best.rx_beam);
+}
+
+std::vector<real> loss_trajectory(
+    const core::PairGainOracle& oracle,
+    std::span<const mac::MeasurementRecord> records) {
+  std::vector<real> out;
+  out.reserve(records.size());
+  // Single pass: the argmax prefix only changes when a new maximum arrives.
+  real best_energy = -1.0;
+  real current_loss = std::numeric_limits<real>::infinity();
+  for (const mac::MeasurementRecord& r : records) {
+    if (r.energy > best_energy) {
+      best_energy = r.energy;
+      current_loss = oracle.loss_db(r.tx_beam, r.rx_beam);
+    }
+    out.push_back(current_loss);
+  }
+  return out;
+}
+
+std::optional<index_t> measurements_to_reach(
+    const core::PairGainOracle& oracle,
+    std::span<const mac::MeasurementRecord> records, real target_loss_db) {
+  MMW_REQUIRE(target_loss_db >= 0.0);
+  const std::vector<real> losses = loss_trajectory(oracle, records);
+  for (index_t k = 0; k < losses.size(); ++k)
+    if (losses[k] <= target_loss_db) return k + 1;
+  return std::nullopt;
+}
+
+}  // namespace mmw::sim

@@ -1,0 +1,37 @@
+// Offline grading of an alignment run: prefix-wise best pair, SNR loss
+// trajectories, and measurements-to-target — the quantities behind the
+// paper's two evaluation axes (search effectiveness and cost efficiency).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/oracle.h"
+#include "mac/session.h"
+
+namespace mmw::sim {
+
+/// The pair with the highest measured energy among the first `count`
+/// records (the pair the receiver would claim after `count` measurements).
+/// Precondition: 1 ≤ count ≤ records.size().
+mac::MeasurementRecord best_in_prefix(
+    std::span<const mac::MeasurementRecord> records, index_t count);
+
+/// True SNR loss (dB) of the claimed pair after `count` measurements.
+real loss_after(const core::PairGainOracle& oracle,
+                std::span<const mac::MeasurementRecord> records,
+                index_t count);
+
+/// Full loss trajectory: entry k is the loss after k+1 measurements.
+std::vector<real> loss_trajectory(
+    const core::PairGainOracle& oracle,
+    std::span<const mac::MeasurementRecord> records);
+
+/// Smallest number of measurements whose claimed pair has true loss ≤
+/// `target_loss_db`, or nullopt if the run never got there.
+std::optional<index_t> measurements_to_reach(
+    const core::PairGainOracle& oracle,
+    std::span<const mac::MeasurementRecord> records, real target_loss_db);
+
+}  // namespace mmw::sim

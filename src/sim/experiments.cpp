@@ -1,0 +1,157 @@
+#include "sim/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/evaluation.h"
+
+namespace mmw::sim {
+
+namespace {
+
+index_t rate_to_budget(real rate, index_t total) {
+  MMW_REQUIRE_MSG(rate > 0.0 && rate <= 1.0,
+                  "search rate must be in (0, 1]");
+  return std::max<index_t>(1, static_cast<index_t>(std::llround(rate * total)));
+}
+
+}  // namespace
+
+EffectivenessResult run_search_effectiveness(
+    const Scenario& scenario,
+    const std::vector<const core::AlignmentStrategy*>& strategies,
+    const std::vector<real>& search_rates) {
+  MMW_REQUIRE(!strategies.empty());
+  MMW_REQUIRE(!search_rates.empty());
+  MMW_REQUIRE(scenario.trials >= 1);
+  MMW_REQUIRE(std::is_sorted(search_rates.begin(), search_rates.end()));
+
+  const index_t total = scenario.total_pairs();
+  const index_t max_budget = rate_to_budget(search_rates.back(), total);
+
+  // losses[strategy][rate][trial]
+  std::map<std::string, std::vector<std::vector<real>>> losses;
+  for (const auto* s : strategies)
+    losses[std::string(s->name())].assign(search_rates.size(), {});
+
+  randgen::Rng root(scenario.seed);
+  for (index_t t = 0; t < scenario.trials; ++t) {
+    randgen::Rng trial_rng = root.fork();
+    const TrialContext ctx = make_trial(scenario, trial_rng);
+    for (const auto* strategy : strategies) {
+      randgen::Rng run_rng = trial_rng.fork();
+      mac::Session session(ctx.link, ctx.tx_codebook, ctx.rx_codebook,
+                           scenario.gamma, max_budget, run_rng,
+                           scenario.fades_per_measurement);
+      strategy->run(session);
+      auto& per_rate = losses[std::string(strategy->name())];
+      for (index_t k = 0; k < search_rates.size(); ++k) {
+        const index_t budget = std::min<index_t>(
+            rate_to_budget(search_rates[k], total),
+            session.records().size());
+        per_rate[k].push_back(
+            loss_after(ctx.oracle, session.records(), budget));
+      }
+    }
+  }
+
+  EffectivenessResult out;
+  out.search_rates = search_rates;
+  for (auto& [name, per_rate] : losses) {
+    std::vector<Summary> row;
+    row.reserve(per_rate.size());
+    for (const auto& sample : per_rate) row.push_back(summarize(sample));
+    out.loss_db.emplace(name, std::move(row));
+  }
+  return out;
+}
+
+CostEfficiencyResult run_cost_efficiency(
+    const Scenario& scenario,
+    const std::vector<const core::AlignmentStrategy*>& strategies,
+    const std::vector<real>& target_loss_db) {
+  MMW_REQUIRE(!strategies.empty());
+  MMW_REQUIRE(!target_loss_db.empty());
+  MMW_REQUIRE(scenario.trials >= 1);
+
+  const index_t total = scenario.total_pairs();
+  std::map<std::string, std::vector<std::vector<real>>> rates;
+  for (const auto* s : strategies)
+    rates[std::string(s->name())].assign(target_loss_db.size(), {});
+
+  randgen::Rng root(scenario.seed);
+  for (index_t t = 0; t < scenario.trials; ++t) {
+    randgen::Rng trial_rng = root.fork();
+    const TrialContext ctx = make_trial(scenario, trial_rng);
+    for (const auto* strategy : strategies) {
+      randgen::Rng run_rng = trial_rng.fork();
+      mac::Session session(ctx.link, ctx.tx_codebook, ctx.rx_codebook,
+                           scenario.gamma, total, run_rng,
+                           scenario.fades_per_measurement);
+      strategy->run(session);
+      auto& per_target = rates[std::string(strategy->name())];
+      for (index_t k = 0; k < target_loss_db.size(); ++k) {
+        const auto needed = measurements_to_reach(
+            ctx.oracle, session.records(), target_loss_db[k]);
+        per_target[k].push_back(
+            needed ? static_cast<real>(*needed) / static_cast<real>(total)
+                   : 1.0);
+      }
+    }
+  }
+
+  CostEfficiencyResult out;
+  out.target_loss_db = target_loss_db;
+  for (auto& [name, per_target] : rates) {
+    std::vector<Summary> row;
+    row.reserve(per_target.size());
+    for (const auto& sample : per_target) row.push_back(summarize(sample));
+    out.required_rate.emplace(name, std::move(row));
+  }
+  return out;
+}
+
+std::string render_table(
+    const std::string& x_label, const std::vector<real>& xs,
+    const std::map<std::string, std::vector<Summary>>& series) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << x_label;
+  for (const auto& [name, values] : series) {
+    MMW_REQUIRE_MSG(values.size() == xs.size(),
+                    "series length must match x axis");
+    os << '\t' << name << " (mean±ci95)";
+  }
+  os << '\n';
+  for (index_t i = 0; i < xs.size(); ++i) {
+    os << xs[i];
+    for (const auto& [name, values] : series)
+      os << '\t' << values[i].mean << "±" << values[i].ci95_half_width();
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_csv(
+    const std::string& x_label, const std::vector<real>& xs,
+    const std::map<std::string, std::vector<Summary>>& series) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  os << x_label;
+  for (const auto& [name, values] : series) {
+    MMW_REQUIRE(values.size() == xs.size());
+    os << ',' << name;
+  }
+  os << '\n';
+  for (index_t i = 0; i < xs.size(); ++i) {
+    os << xs[i];
+    for (const auto& [name, values] : series) os << ',' << values[i].mean;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mmw::sim

@@ -1,0 +1,35 @@
+#include "sim/scenario.h"
+
+namespace mmw::sim {
+
+TrialContext make_trial(const Scenario& scenario, randgen::Rng& rng) {
+  const antenna::ArrayGeometry tx =
+      antenna::ArrayGeometry::upa(scenario.tx_grid_x, scenario.tx_grid_y);
+  const antenna::ArrayGeometry rx =
+      antenna::ArrayGeometry::upa(scenario.rx_grid_x, scenario.rx_grid_y);
+
+  channel::NycClusterParams nyc = scenario.nyc;
+  nyc.sector = scenario.sector;
+
+  channel::Link link =
+      scenario.channel == ChannelKind::kSinglePath
+          ? channel::make_single_path_link(tx, rx, rng, scenario.sector)
+          : channel::make_nyc_multipath_link(tx, rx, rng, nyc);
+
+  auto make_codebook = [&](const antenna::ArrayGeometry& geo) {
+    if (scenario.codebook == CodebookKind::kDft)
+      return antenna::Codebook::dft(geo);
+    return antenna::Codebook::angular_grid(
+        geo, geo.grid_x(), geo.grid_y(), scenario.sector.az_min,
+        scenario.sector.az_max, scenario.sector.el_min,
+        scenario.sector.el_max);
+  };
+
+  antenna::Codebook tx_cb = make_codebook(tx);
+  antenna::Codebook rx_cb = make_codebook(rx);
+  core::PairGainOracle oracle(link, tx_cb, rx_cb);
+  return TrialContext{std::move(link), std::move(tx_cb), std::move(rx_cb),
+                      std::move(oracle)};
+}
+
+}  // namespace mmw::sim

@@ -1,0 +1,76 @@
+// Experiment scenarios: the paper's simulation setup in one value type.
+#pragma once
+
+#include <memory>
+
+#include "antenna/codebook.h"
+#include "channel/models.h"
+#include "core/oracle.h"
+#include "mac/session.h"
+
+namespace mmw::sim {
+
+/// Which channel a trial draws its link from.
+enum class ChannelKind {
+  kSinglePath,    ///< one specular path (paper Figs. 5 & 7)
+  kNycMultipath,  ///< Akdeniz NYC cluster channel (paper Figs. 6 & 8)
+};
+
+/// Which beam codebook the terminals train over.
+enum class CodebookKind {
+  /// Steering vectors on a uniform angular grid covering the sector.
+  /// Neighbouring codewords overlap, which is what lets a covariance
+  /// estimate score directions it has not probed — the property the
+  /// paper's eigen-directed measurement relies on. Default.
+  kAngularGrid,
+  /// Orthonormal DFT beams. With orthogonal codewords the regularized ML
+  /// estimate provably cannot extrapolate outside the probed span (see
+  /// estimate_covariance_ml), so the adaptive scheme degrades to its
+  /// cross-slot reuse effect only. Kept for ablation.
+  kDft,
+};
+
+/// A reproducible experiment configuration. Defaults mirror the paper's
+/// setup (Sec. V-A): TX 4×4 λ/2 UPA, RX 8×8 λ/2 UPA, one codebook beam per
+/// antenna element, so T = 16·64 = 1024 beam pairs.
+struct Scenario {
+  ChannelKind channel = ChannelKind::kSinglePath;
+  channel::NycClusterParams nyc;  ///< used when channel == kNycMultipath
+
+  /// Angular sector shared by the channel path generator and the angular
+  /// codebooks.
+  channel::AngularSector sector;
+
+  CodebookKind codebook = CodebookKind::kAngularGrid;
+
+  index_t tx_grid_x = 4, tx_grid_y = 4;
+  index_t rx_grid_x = 8, rx_grid_y = 8;
+
+  /// Pre-beamforming SNR γ = Es/N0 (linear). 1.0 (0 dB) puts the aligned
+  /// pair ≈30 dB above noise while off paths stay near the floor.
+  real gamma = 1.0;
+
+  /// Independent fades averaged per measurement slot (see mac::Session).
+  index_t fades_per_measurement = 8;
+
+  std::uint64_t seed = 1;
+  index_t trials = 20;
+
+  index_t total_pairs() const {
+    return tx_grid_x * tx_grid_y * rx_grid_x * rx_grid_y;
+  }
+};
+
+/// Everything one Monte-Carlo trial needs: a realized link, the codebooks,
+/// and the grading oracle.
+struct TrialContext {
+  channel::Link link;
+  antenna::Codebook tx_codebook;
+  antenna::Codebook rx_codebook;
+  core::PairGainOracle oracle;
+};
+
+/// Draws the trial-specific link and builds codebooks/oracle.
+TrialContext make_trial(const Scenario& scenario, randgen::Rng& rng);
+
+}  // namespace mmw::sim

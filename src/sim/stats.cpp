@@ -1,0 +1,42 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmw::sim {
+
+real Summary::ci95_half_width() const {
+  if (count < 2) return 0.0;
+  return 1.96 * stddev / std::sqrt(static_cast<real>(count));
+}
+
+Summary summarize(std::span<const real> values) {
+  MMW_REQUIRE_MSG(!values.empty(), "cannot summarize an empty sample");
+  Summary s;
+  s.count = values.size();
+  real acc = 0.0;
+  s.minimum = values[0];
+  s.maximum = values[0];
+  for (const real v : values) {
+    acc += v;
+    s.minimum = std::min(s.minimum, v);
+    s.maximum = std::max(s.maximum, v);
+  }
+  s.mean = acc / static_cast<real>(s.count);
+  if (s.count > 1) {
+    real sq = 0.0;
+    for (const real v : values) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<real>(s.count - 1));
+  }
+  std::vector<real> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const index_t mid = sorted.size() / 2;
+  s.median = (sorted.size() % 2 == 1)
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+real mean(std::span<const real> values) { return summarize(values).mean; }
+
+}  // namespace mmw::sim

@@ -1,0 +1,31 @@
+// Small statistics helpers for Monte-Carlo aggregation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/common.h"
+
+namespace mmw::sim {
+
+/// Summary statistics of a sample.
+struct Summary {
+  index_t count = 0;
+  real mean = 0.0;
+  real stddev = 0.0;      ///< sample standard deviation (n−1)
+  real minimum = 0.0;
+  real maximum = 0.0;
+  real median = 0.0;
+
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean: 1.96·s/√n (0 when n < 2).
+  real ci95_half_width() const;
+};
+
+/// Computes summary statistics. Precondition: non-empty sample.
+Summary summarize(std::span<const real> values);
+
+/// Arithmetic mean. Precondition: non-empty.
+real mean(std::span<const real> values);
+
+}  // namespace mmw::sim

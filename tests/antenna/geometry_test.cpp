@@ -1,0 +1,51 @@
+#include "antenna/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace mmw::antenna {
+namespace {
+
+TEST(GeometryTest, UlaPositionsAlongX) {
+  const auto ula = ArrayGeometry::ula(4, 0.5);
+  EXPECT_EQ(ula.size(), 4u);
+  EXPECT_EQ(ula.grid_x(), 4u);
+  EXPECT_EQ(ula.grid_y(), 1u);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(ula.position(i).x, 0.5 * static_cast<real>(i));
+    EXPECT_DOUBLE_EQ(ula.position(i).y, 0.0);
+    EXPECT_DOUBLE_EQ(ula.position(i).z, 0.0);
+  }
+}
+
+TEST(GeometryTest, UpaRowMajorLayout) {
+  const auto upa = ArrayGeometry::upa(2, 3, 0.5);
+  EXPECT_EQ(upa.size(), 6u);
+  EXPECT_EQ(upa.grid_x(), 2u);
+  EXPECT_EQ(upa.grid_y(), 3u);
+  // index = ix·ny + iy
+  EXPECT_DOUBLE_EQ(upa.position(0 * 3 + 2).x, 0.0);
+  EXPECT_DOUBLE_EQ(upa.position(0 * 3 + 2).y, 1.0);
+  EXPECT_DOUBLE_EQ(upa.position(1 * 3 + 0).x, 0.5);
+  EXPECT_DOUBLE_EQ(upa.position(1 * 3 + 0).y, 0.0);
+}
+
+TEST(GeometryTest, PaperArraySizes) {
+  EXPECT_EQ(ArrayGeometry::upa(4, 4).size(), 16u);  // paper's TX, M = 16
+  EXPECT_EQ(ArrayGeometry::upa(8, 8).size(), 64u);  // paper's RX, N = 64
+}
+
+TEST(GeometryTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(ArrayGeometry::ula(0), precondition_error);
+  EXPECT_THROW(ArrayGeometry::ula(4, 0.0), precondition_error);
+  EXPECT_THROW(ArrayGeometry::upa(0, 4), precondition_error);
+  EXPECT_THROW(ArrayGeometry::upa(4, 0), precondition_error);
+  EXPECT_THROW(ArrayGeometry::upa(4, 4, -1.0), precondition_error);
+}
+
+TEST(GeometryTest, CustomSpacing) {
+  const auto a = ArrayGeometry::ula(3, 0.25);
+  EXPECT_DOUBLE_EQ(a.position(2).x, 0.5);
+}
+
+}  // namespace
+}  // namespace mmw::antenna

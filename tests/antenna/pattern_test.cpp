@@ -1,0 +1,115 @@
+#include "antenna/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmw::antenna {
+namespace {
+
+TEST(AzimuthCutTest, SamplesCoverRangeAndPeakAtSteeredDirection) {
+  const auto geo = ArrayGeometry::upa(8, 8);
+  const Direction steer{0.3, 0.0};
+  const auto w = steering_vector(geo, steer);
+  const auto cut = azimuth_cut(geo, w, 0.0, 721);
+  EXPECT_EQ(cut.size(), 721u);
+  EXPECT_NEAR(cut.front().azimuth, -M_PI / 2, 1e-12);
+  EXPECT_NEAR(cut.back().azimuth, M_PI / 2, 1e-12);
+  // Peak near the steered azimuth with full array gain.
+  index_t best = 0;
+  for (index_t k = 1; k < cut.size(); ++k)
+    if (cut[k].gain > cut[best].gain) best = k;
+  EXPECT_NEAR(cut[best].azimuth, 0.3, 0.01);
+  EXPECT_NEAR(cut[best].gain, 64.0, 0.5);
+}
+
+TEST(AzimuthCutTest, Validation) {
+  const auto geo = ArrayGeometry::upa(2, 2);
+  const auto w = steering_vector(geo, {0.0, 0.0});
+  EXPECT_THROW(azimuth_cut(geo, w, 0.0, 1), precondition_error);
+  EXPECT_THROW(azimuth_cut(geo, w, 0.0, 10, 1.0, 0.0), precondition_error);
+  EXPECT_THROW(azimuth_cut(geo, linalg::Vector(3), 0.0), precondition_error);
+}
+
+TEST(BeamwidthTest, MatchesUlaRuleOfThumb) {
+  // Half-power beamwidth of an N-element λ/2 broadside ULA ≈ 0.886·2/N rad
+  // in sin-space; at boresight sin≈angle, so ≈ 1.772/N.
+  for (const index_t n : {index_t{8}, index_t{16}, index_t{32}}) {
+    const auto geo = ArrayGeometry::ula(n);
+    const auto w = steering_vector(geo, {0.0, 0.0});
+    const auto cut = azimuth_cut(geo, w, 0.0, 2001);
+    const real hpbw = half_power_beamwidth(cut);
+    EXPECT_NEAR(hpbw, 1.772 / static_cast<real>(n),
+                0.2 * 1.772 / static_cast<real>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(BeamwidthTest, LargerArrayIsNarrower) {
+  const auto small = ArrayGeometry::ula(4);
+  const auto big = ArrayGeometry::ula(32);
+  const real w_small = half_power_beamwidth(
+      azimuth_cut(small, steering_vector(small, {0.0, 0.0}), 0.0, 1001));
+  const real w_big = half_power_beamwidth(
+      azimuth_cut(big, steering_vector(big, {0.0, 0.0}), 0.0, 1001));
+  EXPECT_GT(w_small, 4.0 * w_big);
+}
+
+TEST(BeamwidthTest, TooWideLobeRejected) {
+  // A single antenna is omnidirectional: no −3 dB crossing exists.
+  const auto geo = ArrayGeometry::ula(1);
+  const auto w = steering_vector(geo, {0.0, 0.0});
+  EXPECT_THROW(half_power_beamwidth(azimuth_cut(geo, w, 0.0, 101)),
+               precondition_error);
+}
+
+TEST(SidelobeTest, UniformUlaSidelobeNearMinus13Db) {
+  // The first sidelobe of a uniform linear aperture sits ≈ −13.3 dB.
+  const auto geo = ArrayGeometry::ula(32);
+  const auto w = steering_vector(geo, {0.0, 0.0});
+  const auto cut = azimuth_cut(geo, w, 0.0, 4001);
+  const real sll = peak_sidelobe_level_db(cut);
+  EXPECT_NEAR(sll, -13.3, 1.0);
+}
+
+TEST(SidelobeTest, OmniPatternHasNoSidelobe) {
+  const auto geo = ArrayGeometry::ula(1);
+  const auto w = steering_vector(geo, {0.0, 0.0});
+  const auto cut = azimuth_cut(geo, w, 0.0, 101);
+  EXPECT_TRUE(std::isinf(peak_sidelobe_level_db(cut)));
+}
+
+TEST(CoverageTest, DenserCodebookCoversBetter) {
+  const auto geo = ArrayGeometry::upa(4, 4);
+  const real az = M_PI / 3, el = M_PI / 6;
+  const auto sparse = Codebook::angular_grid(geo, 4, 4, -az, az, -el, el);
+  const auto dense = Codebook::angular_grid(geo, 8, 8, -az, az, -el, el);
+  const real cov_sparse =
+      worst_case_coverage(geo, sparse, -az, az, -el, el, 24, 8);
+  const real cov_dense =
+      worst_case_coverage(geo, dense, -az, az, -el, el, 24, 8);
+  EXPECT_GT(cov_dense, cov_sparse);
+  EXPECT_LE(cov_dense, 1.0 + 1e-9);
+  EXPECT_GT(cov_sparse, 0.1);
+}
+
+TEST(CoverageTest, PerfectCoverageWhenCodebookIsTheGrid) {
+  // Evaluating coverage exactly on the codebook's own directions gives 1.
+  const auto geo = ArrayGeometry::upa(4, 4);
+  const real az = 0.8, el = 0.3;
+  const auto cb = Codebook::angular_grid(geo, 5, 3, -az, az, -el, el);
+  const real cov = worst_case_coverage(geo, cb, -az, az, -el, el, 5, 3);
+  EXPECT_NEAR(cov, 1.0, 1e-9);
+}
+
+TEST(CoverageTest, Validation) {
+  const auto geo = ArrayGeometry::upa(2, 2);
+  const auto cb = Codebook::dft(geo);
+  EXPECT_THROW(worst_case_coverage(geo, cb, 1.0, -1.0, 0.0, 0.0),
+               precondition_error);
+  EXPECT_THROW(worst_case_coverage(geo, cb, -1.0, 1.0, 0.0, 0.0, 1, 1),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace mmw::antenna

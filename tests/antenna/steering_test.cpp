@@ -1,0 +1,88 @@
+#include "antenna/steering.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmw::antenna {
+namespace {
+
+TEST(SteeringTest, UnitWaveVectorIsUnitLength) {
+  for (const real az : {-1.2, 0.0, 0.7}) {
+    for (const real el : {-0.5, 0.0, 0.9}) {
+      const Position k = unit_wave_vector({az, el});
+      EXPECT_NEAR(k.x * k.x + k.y * k.y + k.z * k.z, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(SteeringTest, BoresightHasUniformPhase) {
+  // (0, 0) is boresight, perpendicular to the x–y array plane, so all
+  // elements are in phase.
+  const auto upa = ArrayGeometry::upa(4, 4);
+  const auto a = steering_vector(upa, {0.0, 0.0});
+  for (index_t i = 1; i < a.size(); ++i)
+    EXPECT_NEAR(std::abs(a[i] - a[0]), 0.0, 1e-12);
+}
+
+TEST(SteeringTest, SteeringVectorIsUnitNorm) {
+  const auto upa = ArrayGeometry::upa(8, 8);
+  for (const real az : {-1.0, 0.3, 1.4}) {
+    const auto a = steering_vector(upa, {az, 0.2});
+    EXPECT_NEAR(a.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(SteeringTest, ElementsHaveEqualMagnitude) {
+  const auto ula = ArrayGeometry::ula(16);
+  const auto a = steering_vector(ula, {0.8, 0.0});
+  const real expected = 1.0 / 4.0;
+  for (index_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(std::abs(a[i]), expected, 1e-12);
+}
+
+TEST(SteeringTest, UlaPhaseProgression) {
+  // End-fire direction (az = π/2): the wave vector is along the array's
+  // x-axis, so the phase step per element is 2π·d.
+  const auto ula = ArrayGeometry::ula(4, 0.25);
+  const auto a = steering_vector(ula, {M_PI / 2, 0.0});
+  for (index_t i = 1; i < 4; ++i) {
+    const cx ratio = a[i] / a[i - 1];
+    EXPECT_NEAR(std::arg(ratio), 2.0 * M_PI * 0.25, 1e-10);
+  }
+}
+
+TEST(SteeringTest, MatchedBeamGainEqualsArraySize) {
+  const auto upa = ArrayGeometry::upa(4, 4);
+  const Direction dir{0.5, 0.2};
+  const auto w = steering_vector(upa, dir);
+  EXPECT_NEAR(beam_gain(upa, w, dir), 16.0, 1e-9);
+}
+
+TEST(SteeringTest, MismatchedBeamGainIsLower) {
+  const auto upa = ArrayGeometry::upa(8, 8);
+  const Direction dir{0.5, 0.0};
+  const auto w = steering_vector(upa, dir);
+  EXPECT_LT(beam_gain(upa, w, {-0.5, 0.0}), 8.0);  // far off the main lobe
+}
+
+TEST(SteeringTest, GainShapeMismatchThrows) {
+  const auto upa = ArrayGeometry::upa(4, 4);
+  EXPECT_THROW(beam_gain(upa, linalg::Vector(8), {0.0, 0.0}),
+               precondition_error);
+}
+
+TEST(SteeringTest, LargerArrayNarrowsBeam) {
+  // Half-power beamwidth shrinks with aperture: compare the gain drop at a
+  // fixed small angular offset.
+  const Direction boresight{0.0, 0.0};
+  const Direction off{0.12, 0.0};
+  const auto small = ArrayGeometry::ula(4);
+  const auto big = ArrayGeometry::ula(32);
+  const real rel_small = beam_gain(small, steering_vector(small, boresight), off) / 4.0;
+  const real rel_big = beam_gain(big, steering_vector(big, boresight), off) / 32.0;
+  EXPECT_LT(rel_big, rel_small);
+}
+
+}  // namespace
+}  // namespace mmw::antenna

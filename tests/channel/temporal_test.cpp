@@ -1,0 +1,147 @@
+#include "channel/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/models.h"
+
+namespace mmw::channel {
+namespace {
+
+using antenna::ArrayGeometry;
+using linalg::Matrix;
+using randgen::Rng;
+
+Link simple_link() {
+  return Link(ArrayGeometry::upa(2, 2), ArrayGeometry::upa(4, 4),
+              {Path{0.6, {0.3, 0.1}, {-0.2, 0.0}},
+               Path{0.4, {-0.5, 0.0}, {0.4, 0.1}}});
+}
+
+TEST(JakesTest, ZeroDopplerIsFullyCorrelated) {
+  EXPECT_NEAR(jakes_correlation(0.0, 1e-3), 1.0, 1e-12);
+  EXPECT_NEAR(jakes_correlation(100.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(JakesTest, FirstNullNearKnownArgument) {
+  // J₀ first zero at x ≈ 2.405: 2π·f_D·τ = 2.405.
+  const real fd = 100.0;
+  const real tau = 2.405 / (2.0 * M_PI * fd);
+  EXPECT_NEAR(jakes_correlation(fd, tau), 0.0, 1e-3);
+}
+
+TEST(JakesTest, Validation) {
+  EXPECT_THROW(jakes_correlation(-1.0, 1e-3), precondition_error);
+  EXPECT_THROW(jakes_correlation(10.0, -1e-3), precondition_error);
+}
+
+TEST(TemporalFaderTest, CorrelationValidation) {
+  Rng rng(1);
+  const Link link = simple_link();
+  EXPECT_THROW(TemporalFader(link, -0.1, rng), precondition_error);
+  EXPECT_THROW(TemporalFader(link, 1.1, rng), precondition_error);
+}
+
+TEST(TemporalFaderTest, FullCorrelationFreezesChannel) {
+  Rng rng(2);
+  const Link link = simple_link();
+  TemporalFader fader(link, 1.0, rng);
+  const Matrix h0 = fader.current_channel();
+  fader.advance(rng);
+  fader.advance(rng);
+  EXPECT_TRUE(linalg::approx_equal(fader.current_channel(), h0,
+                                   1e-12 * (1.0 + h0.frobenius_norm())));
+}
+
+TEST(TemporalFaderTest, ZeroCorrelationRefadesCompletely) {
+  Rng rng(3);
+  const Link link = simple_link();
+  TemporalFader fader(link, 0.0, rng);
+  const Matrix h0 = fader.current_channel();
+  fader.advance(rng);
+  EXPECT_GT((fader.current_channel() - h0).frobenius_norm(), 1e-3);
+}
+
+TEST(TemporalFaderTest, EffectiveMatchesMatrixProduct) {
+  Rng rng(4);
+  const Link link = simple_link();
+  TemporalFader fader(link, 0.7, rng);
+  const auto u = rng.random_unit_vector(4);
+  EXPECT_TRUE(linalg::approx_equal(fader.current_effective(u),
+                                   fader.current_channel() * u, 1e-10));
+  EXPECT_THROW(fader.current_effective(linalg::Vector(3)),
+               precondition_error);
+}
+
+TEST(TemporalFaderTest, MarginalPowerIsStationary) {
+  // E‖H[t]‖² stays at NM·Σp for all t.
+  Rng rng(5);
+  const Link link = simple_link();
+  const real expected = 4.0 * 16.0;  // NM·1
+  for (const real rho : {0.5, 0.95}) {
+    real acc = 0.0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+      TemporalFader fader(link, rho, rng);
+      for (int s = 0; s < 5; ++s) fader.advance(rng);
+      const Matrix h = fader.current_channel();
+      acc += h.frobenius_norm() * h.frobenius_norm();
+    }
+    EXPECT_NEAR(acc / trials / expected, 1.0, 0.2) << "rho=" << rho;
+  }
+}
+
+TEST(TemporalFaderTest, StepCorrelationMatchesRho) {
+  // Empirical correlation of a path's effective channel across one step.
+  Rng rng(6);
+  const Link link = simple_link();
+  const real rho = 0.8;
+  const auto u = link.tx_steering(0);
+  cx cross{0.0, 0.0};
+  real power = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    TemporalFader fader(link, rho, rng);
+    const auto h0 = fader.current_effective(u);
+    fader.advance(rng);
+    const auto h1 = fader.current_effective(u);
+    cross += linalg::dot(h0, h1);
+    power += h0.squared_norm();
+  }
+  EXPECT_NEAR(std::abs(cross) / power, rho, 0.05);
+}
+
+TEST(TemporalFaderTest, CovarianceIsTimeInvariant) {
+  // The paper's premise: the second-order statistics (covariance) are set
+  // by the geometry and do not drift, even while H decorrelates.
+  Rng rng(7);
+  const Link link = simple_link();
+  const Matrix q_early = [&] {
+    Matrix acc(16, 16);
+    const int trials = 800;
+    for (int t = 0; t < trials; ++t) {
+      TemporalFader fader(link, 0.9, rng);
+      const auto h = fader.current_channel();
+      acc += h * h.adjoint();
+    }
+    return acc / cx{800.0, 0.0};
+  }();
+  const Matrix q_late = [&] {
+    Matrix acc(16, 16);
+    const int trials = 800;
+    for (int t = 0; t < trials; ++t) {
+      TemporalFader fader(link, 0.9, rng);
+      for (int s = 0; s < 20; ++s) fader.advance(rng);
+      const auto h = fader.current_channel();
+      acc += h * h.adjoint();
+    }
+    return acc / cx{800.0, 0.0};
+  }();
+  EXPECT_LT((q_early - q_late).frobenius_norm() /
+                (1.0 + q_early.frobenius_norm()),
+            0.25);
+}
+
+}  // namespace
+}  // namespace mmw::channel

@@ -1,0 +1,111 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "antenna/steering.h"
+#include "channel/models.h"
+#include "randgen/rng.h"
+
+namespace mmw::core {
+namespace {
+
+using antenna::ArrayGeometry;
+using antenna::Codebook;
+using channel::Link;
+using channel::Path;
+using randgen::Rng;
+
+TEST(OracleTest, MatchesLinkMeanPairGain) {
+  Rng rng(1);
+  const auto tx = ArrayGeometry::upa(2, 2);
+  const auto rx = ArrayGeometry::upa(4, 4);
+  const Link link = channel::make_nyc_multipath_link(tx, rx, rng);
+  const auto tx_cb = Codebook::dft(tx);
+  const auto rx_cb = Codebook::dft(rx);
+  const PairGainOracle oracle(link, tx_cb, rx_cb);
+  for (index_t t = 0; t < tx_cb.size(); ++t)
+    for (index_t r = 0; r < rx_cb.size(); ++r)
+      EXPECT_NEAR(oracle.gain(t, r),
+                  link.mean_pair_gain(tx_cb.codeword(t), rx_cb.codeword(r)),
+                  1e-9 * (1.0 + oracle.optimal_gain()));
+}
+
+TEST(OracleTest, OptimalPairIsArgmax) {
+  Rng rng(2);
+  const auto tx = ArrayGeometry::upa(2, 2);
+  const auto rx = ArrayGeometry::upa(4, 4);
+  const Link link = channel::make_single_path_link(tx, rx, rng);
+  const auto tx_cb = Codebook::dft(tx);
+  const auto rx_cb = Codebook::dft(rx);
+  const PairGainOracle oracle(link, tx_cb, rx_cb);
+  const auto [ot, orx] = oracle.optimal_pair();
+  for (index_t t = 0; t < tx_cb.size(); ++t)
+    for (index_t r = 0; r < rx_cb.size(); ++r)
+      EXPECT_LE(oracle.gain(t, r), oracle.optimal_gain() + 1e-12);
+  EXPECT_NEAR(oracle.gain(ot, orx), oracle.optimal_gain(), 1e-12);
+}
+
+TEST(OracleTest, LossOfOptimalPairIsZero) {
+  Rng rng(3);
+  const auto tx = ArrayGeometry::upa(2, 2);
+  const auto rx = ArrayGeometry::upa(4, 4);
+  const Link link = channel::make_single_path_link(tx, rx, rng);
+  const PairGainOracle oracle(link, Codebook::dft(tx), Codebook::dft(rx));
+  const auto [t, r] = oracle.optimal_pair();
+  EXPECT_NEAR(oracle.loss_db(t, r), 0.0, 1e-12);
+}
+
+TEST(OracleTest, LossIsNonNegativeAndMonotone) {
+  Rng rng(4);
+  const auto tx = ArrayGeometry::upa(2, 2);
+  const auto rx = ArrayGeometry::upa(4, 4);
+  const Link link = channel::make_nyc_multipath_link(tx, rx, rng);
+  const PairGainOracle oracle(link, Codebook::dft(tx), Codebook::dft(rx));
+  for (index_t t = 0; t < 4; ++t)
+    for (index_t r = 0; r < 16; ++r) {
+      EXPECT_GE(oracle.loss_db(t, r), 0.0);
+      // Loss formula: 10·log10(opt/gain).
+      EXPECT_NEAR(oracle.loss_db(t, r),
+                  10.0 * std::log10(oracle.optimal_gain() /
+                                    oracle.gain(t, r)),
+                  1e-9);
+    }
+}
+
+TEST(OracleTest, StrongestBeamPairForAlignedPath) {
+  // A path exactly on a codebook direction makes that codeword pair optimal.
+  const auto tx = ArrayGeometry::upa(4, 4);
+  const auto rx = ArrayGeometry::upa(8, 8);
+  const auto tx_cb =
+      Codebook::angular_grid(tx, 4, 4, -0.8, 0.8, -0.4, 0.4);
+  const auto rx_cb =
+      Codebook::angular_grid(rx, 8, 8, -0.8, 0.8, -0.4, 0.4);
+  // Grid steps: az −0.8 + k·1.6/3 for TX; pick exact grid angles.
+  const antenna::Direction aod{-0.8 + 1.6 / 3.0, -0.4 + 0.8 / 3.0};
+  const antenna::Direction aoa{-0.8 + 2.0 * 1.6 / 7.0, -0.4 + 3.0 * 0.8 / 7.0};
+  const Link link(tx, rx, {Path{1.0, aod, aoa}});
+  const PairGainOracle oracle(link, tx_cb, rx_cb);
+  const auto [t, r] = oracle.optimal_pair();
+  const auto [tx_x, tx_y] = tx_cb.coordinates(t);
+  const auto [rx_x, rx_y] = rx_cb.coordinates(r);
+  EXPECT_EQ(tx_x, 1u);
+  EXPECT_EQ(tx_y, 1u);
+  EXPECT_EQ(rx_x, 2u);
+  EXPECT_EQ(rx_y, 3u);
+  // Full array gain at perfect alignment: N·M·p.
+  EXPECT_NEAR(oracle.optimal_gain(), 16.0 * 64.0, 1e-6);
+}
+
+TEST(OracleTest, ShapeMismatchThrows) {
+  Rng rng(5);
+  const auto tx = ArrayGeometry::upa(2, 2);
+  const auto rx = ArrayGeometry::upa(4, 4);
+  const Link link = channel::make_single_path_link(tx, rx, rng);
+  const auto cb_small = Codebook::dft(tx);
+  EXPECT_THROW(PairGainOracle(link, cb_small, cb_small), precondition_error);
+}
+
+}  // namespace
+}  // namespace mmw::core

@@ -1,0 +1,184 @@
+#include "estimation/compressed_sensing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "antenna/steering.h"
+#include "channel/link.h"
+#include "randgen/rng.h"
+
+namespace mmw::estimation {
+namespace {
+
+using antenna::ArrayGeometry;
+using antenna::Direction;
+using linalg::Matrix;
+using linalg::Vector;
+using randgen::Rng;
+
+struct Fixture {
+  ArrayGeometry tx = ArrayGeometry::upa(4, 4);
+  ArrayGeometry rx = ArrayGeometry::upa(8, 8);
+  static constexpr real kAz = M_PI / 3;
+  static constexpr real kEl = M_PI / 6;
+  BeamspaceDictionary dict{tx, rx, 9, 5, 13, 7, -kAz, kAz, -kEl, kEl};
+
+  /// Fixed (coherent) channel from planted dictionary atoms.
+  Matrix planted_channel(std::initializer_list<OmpResult::Atom> atoms) const {
+    OmpResult r;
+    r.atoms = atoms;
+    return synthesize_channel(dict, r);
+  }
+
+  std::vector<CoherentMeasurement> probe(const Matrix& h, index_t count,
+                                         Rng& rng, real noise_var) const {
+    std::vector<CoherentMeasurement> ms;
+    for (index_t k = 0; k < count; ++k) {
+      CoherentMeasurement m;
+      m.tx_beam = rng.random_unit_vector(16);
+      m.rx_beam = rng.random_unit_vector(64);
+      m.observation = linalg::dot(m.rx_beam, h * m.tx_beam) +
+                      rng.complex_normal(noise_var);
+      ms.push_back(std::move(m));
+    }
+    return ms;
+  }
+};
+
+TEST(DictionaryTest, SizesAndUnitNormAtoms) {
+  Fixture f;
+  EXPECT_EQ(f.dict.tx_atoms(), 45u);
+  EXPECT_EQ(f.dict.rx_atoms(), 91u);
+  EXPECT_EQ(f.dict.size(), 45u * 91u);
+  for (index_t i = 0; i < f.dict.tx_atoms(); i += 7)
+    EXPECT_NEAR(f.dict.tx_steering(i).norm(), 1.0, 1e-12);
+  for (index_t j = 0; j < f.dict.rx_atoms(); j += 11)
+    EXPECT_NEAR(f.dict.rx_steering(j).norm(), 1.0, 1e-12);
+}
+
+TEST(DictionaryTest, DirectionsMatchSteering) {
+  Fixture f;
+  const Direction d = f.dict.tx_direction(7);
+  EXPECT_TRUE(linalg::approx_equal(
+      f.dict.tx_steering(7), antenna::steering_vector(f.tx, d), 1e-12));
+}
+
+TEST(DictionaryTest, Validation) {
+  const auto geo = ArrayGeometry::upa(2, 2);
+  EXPECT_THROW(BeamspaceDictionary(geo, geo, 0, 1, 1, 1, -1, 1, 0, 0),
+               precondition_error);
+  EXPECT_THROW(BeamspaceDictionary(geo, geo, 2, 1, 2, 1, 1, -1, 0, 0),
+               precondition_error);
+}
+
+TEST(OmpTest, RecoversSinglePlantedAtomNoiseless) {
+  Fixture f;
+  Rng rng(3);
+  const Matrix h = f.planted_channel({{17, 40, cx{2.0, -1.0}}});
+  const auto ms = f.probe(h, 24, rng, 0.0);
+  OmpOptions opts;
+  opts.max_atoms = 3;
+  const auto res = omp_channel_estimate(f.dict, ms, opts);
+  ASSERT_GE(res.atoms.size(), 1u);
+  EXPECT_EQ(res.atoms[0].tx_index, 17u);
+  EXPECT_EQ(res.atoms[0].rx_index, 40u);
+  EXPECT_NEAR(std::abs(res.atoms[0].gain - cx{2.0, -1.0}), 0.0, 1e-6);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.relative_residual, 1e-6);
+}
+
+TEST(OmpTest, RecoversTwoAtoms) {
+  Fixture f;
+  Rng rng(4);
+  const Matrix h =
+      f.planted_channel({{5, 12, cx{3.0, 0.0}}, {30, 77, cx{0.0, 1.5}}});
+  const auto ms = f.probe(h, 40, rng, 0.0);
+  OmpOptions opts;
+  opts.max_atoms = 4;
+  const auto res = omp_channel_estimate(f.dict, ms, opts);
+  ASSERT_GE(res.atoms.size(), 2u);
+  std::set<std::pair<index_t, index_t>> found;
+  for (const auto& a : res.atoms) found.insert({a.tx_index, a.rx_index});
+  EXPECT_TRUE(found.count({5, 12}));
+  EXPECT_TRUE(found.count({30, 77}));
+}
+
+TEST(OmpTest, ChannelReconstructionError) {
+  Fixture f;
+  Rng rng(5);
+  const Matrix h =
+      f.planted_channel({{8, 20, cx{2.0, 1.0}}, {40, 60, cx{-1.0, 0.5}}});
+  const auto ms = f.probe(h, 48, rng, 1e-6);
+  OmpOptions opts;
+  opts.max_atoms = 4;
+  const auto res = omp_channel_estimate(f.dict, ms, opts);
+  const Matrix h_hat = synthesize_channel(f.dict, res);
+  EXPECT_LT((h_hat - h).frobenius_norm() / h.frobenius_norm(), 0.05);
+}
+
+TEST(OmpTest, OffGridPathStillApproximated) {
+  // A physical path between grid points: OMP picks nearby atoms and the
+  // reconstruction captures most of the channel energy.
+  Fixture f;
+  Rng rng(6);
+  const channel::Link link(
+      f.tx, f.rx, {channel::Path{1.0, {0.21, -0.13}, {-0.37, 0.11}}});
+  Matrix h = link.draw_channel(rng);
+  const auto ms = f.probe(h, 48, rng, 1e-6);
+  OmpOptions opts;
+  opts.max_atoms = 6;
+  opts.residual_tolerance = 1e-3;
+  const auto res = omp_channel_estimate(f.dict, ms, opts);
+  const Matrix h_hat = synthesize_channel(f.dict, res);
+  EXPECT_LT((h_hat - h).frobenius_norm() / h.frobenius_norm(), 0.5);
+  // The dominant recovered direction is close to the true AoA/AoD.
+  const auto& aod = f.dict.tx_direction(res.atoms[0].tx_index);
+  const auto& aoa = f.dict.rx_direction(res.atoms[0].rx_index);
+  EXPECT_NEAR(aod.azimuth, 0.21, 0.2);
+  EXPECT_NEAR(aoa.azimuth, -0.37, 0.2);
+}
+
+TEST(OmpTest, NoisyMeasurementsDegradeGracefully) {
+  Fixture f;
+  Rng rng(7);
+  const Matrix h = f.planted_channel({{17, 40, cx{2.0, 0.0}}});
+  const auto ms = f.probe(h, 32, rng, 1e-3);
+  OmpOptions opts;
+  opts.max_atoms = 2;
+  const auto res = omp_channel_estimate(f.dict, ms, opts);
+  ASSERT_GE(res.atoms.size(), 1u);
+  EXPECT_EQ(res.atoms[0].tx_index, 17u);
+  EXPECT_EQ(res.atoms[0].rx_index, 40u);
+}
+
+TEST(OmpTest, Validation) {
+  Fixture f;
+  Rng rng(8);
+  EXPECT_THROW(omp_channel_estimate(f.dict, {}, {}), precondition_error);
+  const Matrix h = f.planted_channel({{0, 0, cx{1.0, 0.0}}});
+  auto ms = f.probe(h, 3, rng, 0.0);
+  OmpOptions too_many;
+  too_many.max_atoms = 5;
+  EXPECT_THROW(omp_channel_estimate(f.dict, ms, too_many),
+               precondition_error);
+  ms[0].tx_beam = Vector(8);  // wrong dimension
+  EXPECT_THROW(omp_channel_estimate(f.dict, ms, {}), precondition_error);
+}
+
+TEST(OmpTest, ResidualToleranceStopsEarly) {
+  Fixture f;
+  Rng rng(9);
+  const Matrix h = f.planted_channel({{17, 40, cx{2.0, 0.0}}});
+  const auto ms = f.probe(h, 24, rng, 0.0);
+  OmpOptions opts;
+  opts.max_atoms = 6;
+  opts.residual_tolerance = 1e-3;
+  const auto res = omp_channel_estimate(f.dict, ms, opts);
+  // One atom suffices for a rank-one on-grid channel.
+  EXPECT_EQ(res.atoms.size(), 1u);
+  EXPECT_TRUE(res.converged);
+}
+
+}  // namespace
+}  // namespace mmw::estimation

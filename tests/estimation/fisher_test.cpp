@@ -1,0 +1,115 @@
+#include "estimation/fisher.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decompositions.h"
+#include "randgen/rng.h"
+
+namespace mmw::estimation {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using randgen::Rng;
+
+TEST(FisherTest, SingleMeasurementFormula) {
+  EXPECT_DOUBLE_EQ(energy_fisher_information(2.0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(energy_fisher_information(2.0, 8), 2.0);
+  EXPECT_THROW(energy_fisher_information(0.0, 1), precondition_error);
+  EXPECT_THROW(energy_fisher_information(1.0, 0), precondition_error);
+}
+
+TEST(FisherTest, ScalarCrbShrinksWithMeasurementsAndFades) {
+  const real crb1 = scalar_crb(3.0, 10, 1);
+  EXPECT_DOUBLE_EQ(crb1, 9.0 / 10.0);
+  EXPECT_DOUBLE_EQ(scalar_crb(3.0, 20, 1), crb1 / 2.0);
+  EXPECT_DOUBLE_EQ(scalar_crb(3.0, 10, 4), crb1 / 4.0);
+  EXPECT_THROW(scalar_crb(3.0, 0, 1), precondition_error);
+}
+
+TEST(FisherTest, EmpiricalVarianceRespectsCrb) {
+  // The sample-mean estimator of λ from exponential energies is efficient:
+  // its variance hits the CRB λ²/J.
+  Rng rng(3);
+  const real lambda = 2.5;
+  const index_t j_count = 25;
+  const int trials = 4000;
+  real mean_acc = 0.0, var_acc = 0.0;
+  std::vector<real> estimates(trials);
+  for (int t = 0; t < trials; ++t) {
+    real sum = 0.0;
+    for (index_t j = 0; j < j_count; ++j)
+      sum += std::norm(rng.complex_normal(lambda));
+    estimates[t] = sum / static_cast<real>(j_count);
+    mean_acc += estimates[t];
+  }
+  const real mean = mean_acc / trials;
+  for (int t = 0; t < trials; ++t)
+    var_acc += (estimates[t] - mean) * (estimates[t] - mean);
+  const real var = var_acc / trials;
+  const real crb = scalar_crb(lambda, j_count, 1);
+  EXPECT_NEAR(var / crb, 1.0, 0.12);  // efficient estimator sits at the CRB
+  EXPECT_GT(var, 0.8 * crb);          // and never (statistically) below it
+}
+
+TEST(FisherTest, LinearModelMatrixShapeAndValues) {
+  // Two parameters, three measurements with hand-computable entries.
+  const real sens[] = {1.0, 0.0,   // λ_1 sensitivities
+                       0.0, 2.0,   // λ_2
+                       1.0, 1.0};  // λ_3
+  const real lambdas[] = {1.0, 2.0, 1.0};
+  const Matrix fim = linear_model_fisher_matrix(sens, 2, lambdas, 1);
+  // (0,0): 1/1 + 0 + 1/1 = 2; (1,1): 4/4 + 1/1 = 2; (0,1): 1·1/1 = 1.
+  EXPECT_NEAR(fim(0, 0).real(), 2.0, 1e-12);
+  EXPECT_NEAR(fim(1, 1).real(), 2.0, 1e-12);
+  EXPECT_NEAR(fim(0, 1).real(), 1.0, 1e-12);
+  EXPECT_TRUE(fim.is_hermitian(1e-12));
+}
+
+TEST(FisherTest, LinearModelValidation) {
+  const real sens[] = {1.0, 0.0};
+  const real lambdas[] = {1.0, 2.0};
+  EXPECT_THROW(linear_model_fisher_matrix(sens, 2, lambdas, 1),
+               precondition_error);  // shape mismatch (needs 4 sens)
+  EXPECT_THROW(
+      linear_model_fisher_matrix(std::span<const real>{}, 1, {}, 1),
+      precondition_error);
+}
+
+TEST(FisherTest, FisherMatrixIsPsdAndInvertibleWhenIdentified) {
+  Rng rng(5);
+  const index_t params = 4, j_count = 12;
+  std::vector<real> sens(j_count * params), lambdas(j_count);
+  for (index_t j = 0; j < j_count; ++j) {
+    real lam = 0.1;
+    for (index_t t = 0; t < params; ++t) {
+      sens[j * params + t] = rng.uniform(0.0, 1.0);
+      lam += sens[j * params + t];
+    }
+    lambdas[j] = lam;
+  }
+  const Matrix fim = linear_model_fisher_matrix(sens, params, lambdas, 2);
+  // Invertible (parameters identified with J > T generic sensitivities).
+  EXPECT_FALSE(linalg::lu_decompose(fim).singular);
+}
+
+TEST(FisherTest, ProbeScoreFavorsLowPredictedEnergy) {
+  // Per the K/λ² law, a beam predicted near the noise floor carries more
+  // information about its own quotient than one already known to be hot.
+  Rng rng(6);
+  const Vector hot = rng.random_unit_vector(8);
+  const Matrix q_hat = Matrix::outer(hot, hot) * cx{50.0, 0.0};
+  Vector cold = rng.random_unit_vector(8);
+  cold -= linalg::dot(hot, cold) * hot;  // orthogonal to the hot direction
+  cold = cold.normalized();
+  const real gamma = 10.0;
+  EXPECT_GT(probe_information_score(q_hat, cold, gamma),
+            probe_information_score(q_hat, hot, gamma));
+  EXPECT_THROW(probe_information_score(q_hat, hot, 0.0),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace mmw::estimation

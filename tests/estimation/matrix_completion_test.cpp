@@ -1,0 +1,173 @@
+#include "estimation/matrix_completion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/functions.h"
+#include "randgen/rng.h"
+
+namespace mmw::estimation {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using randgen::Rng;
+
+Matrix random_low_rank(Rng& rng, index_t rows, index_t cols, index_t rank) {
+  Matrix a(rows, cols);
+  for (index_t k = 0; k < rank; ++k) {
+    const Vector u = rng.complex_gaussian_vector(rows);
+    const Vector v = rng.complex_gaussian_vector(cols);
+    a += Matrix::outer(u, v);
+  }
+  return a;
+}
+
+std::vector<ObservedEntry> sample_entries(const Matrix& m, real fraction,
+                                          Rng& rng) {
+  const index_t total = m.rows() * m.cols();
+  const index_t count =
+      std::max<index_t>(1, static_cast<index_t>(fraction * total));
+  std::vector<ObservedEntry> out;
+  out.reserve(count);
+  for (const index_t flat : rng.sample_without_replacement(total, count)) {
+    const index_t r = flat / m.cols();
+    const index_t c = flat % m.cols();
+    out.push_back({r, c, m(r, c)});
+  }
+  return out;
+}
+
+TEST(ShrinkTest, ZeroThresholdIsIdentity) {
+  Rng rng(1);
+  const Matrix a = rng.complex_gaussian_matrix(5, 4);
+  EXPECT_TRUE(linalg::approx_equal(singular_value_shrink(a, 0.0), a,
+                                   1e-8 * a.frobenius_norm()));
+}
+
+TEST(ShrinkTest, LargeThresholdZeroes) {
+  Rng rng(2);
+  const Matrix a = rng.complex_gaussian_matrix(4, 4);
+  EXPECT_NEAR(singular_value_shrink(a, 1e9).frobenius_norm(), 0.0, 1e-9);
+}
+
+TEST(ShrinkTest, ShrinksSingularValuesExactly) {
+  Matrix a(3, 3);
+  a(0, 0) = cx{5, 0};
+  a(1, 1) = cx{2, 0};
+  a(2, 2) = cx{0.5, 0};
+  const Matrix s = singular_value_shrink(a, 1.0);
+  const auto sv = linalg::svd(s).singular_values;
+  EXPECT_NEAR(sv[0], 4.0, 1e-8);
+  EXPECT_NEAR(sv[1], 1.0, 1e-8);
+  EXPECT_NEAR(sv[2], 0.0, 1e-8);
+  EXPECT_THROW(singular_value_shrink(a, -1.0), precondition_error);
+}
+
+TEST(SvtTest, InputValidation) {
+  EXPECT_THROW(complete_svt(4, 4, {}), precondition_error);
+  std::vector<ObservedEntry> out_of_range{{4, 0, cx{1, 0}}};
+  EXPECT_THROW(complete_svt(4, 4, out_of_range), precondition_error);
+  std::vector<ObservedEntry> dup{{0, 0, cx{1, 0}}, {0, 0, cx{2, 0}}};
+  EXPECT_THROW(complete_svt(4, 4, dup), precondition_error);
+}
+
+TEST(SvtTest, RecoversRankOneFromPartialEntries) {
+  Rng rng(3);
+  const Matrix m = random_low_rank(rng, 12, 12, 1);
+  const auto entries = sample_entries(m, 0.6, rng);
+  const auto res = complete_svt(12, 12, entries);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT((res.x - m).frobenius_norm() / m.frobenius_norm(), 0.02);
+}
+
+TEST(SvtTest, RecoversRankTwoSquare) {
+  Rng rng(4);
+  const Matrix m = random_low_rank(rng, 20, 20, 2);
+  const auto entries = sample_entries(m, 0.6, rng);
+  const auto res = complete_svt(20, 20, entries);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT((res.x - m).frobenius_norm() / m.frobenius_norm(), 0.02);
+}
+
+TEST(SvtTest, RectangularMatrix) {
+  Rng rng(5);
+  const Matrix m = random_low_rank(rng, 10, 20, 1);
+  const auto entries = sample_entries(m, 0.6, rng);
+  const auto res = complete_svt(10, 20, entries);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT((res.x - m).frobenius_norm() / m.frobenius_norm(), 0.08);
+}
+
+TEST(SvtTest, MatchesObservedEntries) {
+  Rng rng(6);
+  const Matrix m = random_low_rank(rng, 10, 10, 1);
+  const auto entries = sample_entries(m, 0.7, rng);
+  const auto res = complete_svt(10, 10, entries);
+  for (const auto& e : entries)
+    EXPECT_LT(std::abs(res.x(e.row, e.col) - e.value),
+              0.01 * m.frobenius_norm());
+}
+
+TEST(SvtTest, TooFewEntriesDoesNotConverge) {
+  // 3 entries of a 12×12 rank-2 matrix is hopeless; the solver must report
+  // non-convergence rather than pretend success.
+  Rng rng(7);
+  const Matrix m = random_low_rank(rng, 12, 12, 2);
+  std::vector<ObservedEntry> entries{{0, 0, m(0, 0)},
+                                     {5, 7, m(5, 7)},
+                                     {11, 2, m(11, 2)}};
+  MatrixCompletionOptions opts;
+  opts.max_iterations = 30;
+  const auto res = complete_svt(12, 12, entries, opts);
+  // Either it fails to converge or the recovery error is large.
+  if (res.converged) {
+    EXPECT_GT((res.x - m).frobenius_norm() / m.frobenius_norm(), 0.3);
+  }
+}
+
+TEST(SoftImputeTest, RecoversRankOne) {
+  Rng rng(8);
+  const Matrix m = random_low_rank(rng, 12, 12, 1);
+  const auto entries = sample_entries(m, 0.6, rng);
+  MatrixCompletionOptions opts;
+  opts.max_iterations = 500;
+  opts.tolerance = 1e-5;
+  const auto res = complete_soft_impute(12, 12, entries, opts);
+  EXPECT_LT((res.x - m).frobenius_norm() / m.frobenius_norm(), 0.15);
+}
+
+TEST(SoftImputeTest, RobustToNoisyObservations) {
+  Rng rng(9);
+  const Matrix m = random_low_rank(rng, 12, 12, 1);
+  auto entries = sample_entries(m, 0.7, rng);
+  for (auto& e : entries) e.value += rng.complex_normal(1e-4);
+  MatrixCompletionOptions opts;
+  opts.max_iterations = 500;
+  opts.tolerance = 1e-5;
+  const auto res = complete_soft_impute(12, 12, entries, opts);
+  EXPECT_LT((res.x - m).frobenius_norm() / m.frobenius_norm(), 0.2);
+}
+
+TEST(SoftImputeTest, FullObservationReproducesMatrix) {
+  Rng rng(10);
+  const Matrix m = random_low_rank(rng, 6, 6, 2);
+  const auto entries = sample_entries(m, 1.0, rng);
+  MatrixCompletionOptions opts;
+  opts.max_iterations = 400;
+  opts.tolerance = 1e-6;
+  const auto res = complete_soft_impute(6, 6, entries, opts);
+  EXPECT_LT((res.x - m).frobenius_norm() / m.frobenius_norm(), 0.05);
+}
+
+TEST(CompletionTest, ReportsIterationCount) {
+  Rng rng(11);
+  const Matrix m = random_low_rank(rng, 8, 8, 1);
+  const auto entries = sample_entries(m, 0.6, rng);
+  const auto res = complete_svt(8, 8, entries);
+  EXPECT_GT(res.iterations, 0);
+}
+
+}  // namespace
+}  // namespace mmw::estimation

@@ -1,0 +1,277 @@
+#include "linalg/eig.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "randgen/rng.h"
+
+namespace mmw::linalg {
+namespace {
+
+using randgen::Rng;
+
+/// Builds a random Hermitian matrix with the given eigenvalues (Haar-random
+/// eigenbasis from QR-free Gram-Schmidt of a Gaussian matrix).
+Matrix hermitian_with_spectrum(Rng& rng, const std::vector<real>& eigs) {
+  const index_t n = eigs.size();
+  // Gram–Schmidt a random Gaussian matrix into a unitary.
+  Matrix g = rng.complex_gaussian_matrix(n, n);
+  Matrix u(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    Vector v = g.col(j);
+    for (index_t k = 0; k < j; ++k) {
+      const Vector uk = u.col(k);
+      v -= dot(uk, v) * uk;
+    }
+    u.set_col(j, v.normalized());
+  }
+  Matrix a(n, n);
+  for (index_t k = 0; k < n; ++k) {
+    const Vector uk = u.col(k);
+    a += cx{eigs[k], 0.0} * Matrix::outer(uk, uk);
+  }
+  return a;
+}
+
+TEST(EigTest, DiagonalMatrix) {
+  const real d[] = {3.0, -1.0, 2.0};
+  const EigResult r = hermitian_eig(Matrix::diagonal(std::span<const real>(d)));
+  ASSERT_EQ(r.eigenvalues.size(), 3u);
+  EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[2], -1.0, 1e-12);
+}
+
+TEST(EigTest, RequiresSquareHermitian) {
+  EXPECT_THROW(hermitian_eig(Matrix(2, 3)), precondition_error);
+  Matrix not_h{{cx{0, 0}, cx{1, 0}}, {cx{2, 0}, cx{0, 0}}};
+  EXPECT_THROW(hermitian_eig(not_h), precondition_error);
+}
+
+TEST(EigTest, PauliY) {
+  // σ_y has eigenvalues ±1.
+  Matrix m{{cx{0, 0}, cx{0, -1}}, {cx{0, 1}, cx{0, 0}}};
+  const EigResult r = hermitian_eig(m);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], -1.0, 1e-12);
+}
+
+TEST(EigTest, ReconstructsInput) {
+  Rng rng(42);
+  const std::vector<real> eigs{5.0, 2.5, 1.0, 0.25, -0.5};
+  Matrix a = hermitian_with_spectrum(rng, eigs);
+  const EigResult r = hermitian_eig(a);
+  // A = V Λ Vᴴ
+  Matrix rebuilt(a.rows(), a.cols());
+  for (index_t k = 0; k < eigs.size(); ++k) {
+    const Vector vk = r.eigenvectors.col(k);
+    rebuilt += cx{r.eigenvalues[k], 0.0} * Matrix::outer(vk, vk);
+  }
+  EXPECT_TRUE(approx_equal(rebuilt, a, 1e-9 * a.frobenius_norm()));
+}
+
+TEST(EigTest, EigenvectorsAreOrthonormal) {
+  Rng rng(7);
+  Matrix a = hermitian_with_spectrum(rng, {4.0, 3.0, 2.0, 1.0});
+  const EigResult r = hermitian_eig(a);
+  const Matrix vhv = r.eigenvectors.adjoint() * r.eigenvectors;
+  EXPECT_TRUE(approx_equal(vhv, Matrix::identity(4), 1e-10));
+}
+
+TEST(EigTest, EigenpairsSatisfyDefinition) {
+  Rng rng(11);
+  Matrix a = hermitian_with_spectrum(rng, {10.0, 5.0, 1.0});
+  const EigResult r = hermitian_eig(a);
+  for (index_t k = 0; k < 3; ++k) {
+    const Vector vk = r.eigenvectors.col(k);
+    const Vector av = a * vk;
+    const Vector lv = cx{r.eigenvalues[k], 0.0} * vk;
+    EXPECT_TRUE(approx_equal(av, lv, 1e-9)) << "eigenpair " << k;
+  }
+}
+
+TEST(EigTest, DegenerateSpectrum) {
+  Rng rng(3);
+  Matrix a = hermitian_with_spectrum(rng, {2.0, 2.0, 2.0, 1.0});
+  const EigResult r = hermitian_eig(a);
+  EXPECT_NEAR(r.eigenvalues[0], 2.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[2], 2.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[3], 1.0, 1e-10);
+  const Matrix vhv = r.eigenvectors.adjoint() * r.eigenvectors;
+  EXPECT_TRUE(approx_equal(vhv, Matrix::identity(4), 1e-10));
+}
+
+TEST(EigTest, TraceEqualsEigenvalueSum) {
+  Rng rng(19);
+  Matrix a = hermitian_with_spectrum(rng, {3.0, 1.0, -2.0, 0.5, 4.0, -1.0});
+  const EigResult r = hermitian_eig(a);
+  real sum = 0.0;
+  for (const real e : r.eigenvalues) sum += e;
+  EXPECT_NEAR(sum, a.trace().real(), 1e-9);
+}
+
+TEST(EigTest, LargeRandomMatrixConverges) {
+  Rng rng(101);
+  Matrix g = rng.complex_gaussian_matrix(64, 64);
+  Matrix a = (g + g.adjoint()) * cx{0.5, 0.0};
+  const EigResult r = hermitian_eig(a);
+  // Spot-check the dominant eigenpair.
+  const Vector v0 = r.eigenvectors.col(0);
+  EXPECT_TRUE(
+      approx_equal(a * v0, cx{r.eigenvalues[0], 0.0} * v0, 1e-8));
+  // Descending order.
+  for (index_t k = 1; k < 64; ++k)
+    EXPECT_GE(r.eigenvalues[k - 1], r.eigenvalues[k]);
+}
+
+TEST(EigTest, PrincipalEigenvectorOfRankOne) {
+  Rng rng(5);
+  Vector x = rng.random_unit_vector(8);
+  Matrix a = Matrix::outer(x, x) * cx{6.0, 0.0};
+  const EigResult r = hermitian_eig(a);
+  EXPECT_NEAR(r.eigenvalues[0], 6.0, 1e-9);
+  // Principal eigenvector matches x up to a global phase.
+  EXPECT_NEAR(std::abs(dot(r.principal_eigenvector(), x)), 1.0, 1e-9);
+}
+
+TEST(EigTest, EnergyFractionOfLowRank) {
+  Rng rng(13);
+  Matrix a = hermitian_with_spectrum(rng, {10.0, 9.0, 0.5, 0.25, 0.25, 0.0});
+  const EigResult r = hermitian_eig(a);
+  EXPECT_NEAR(r.energy_fraction(2), 19.0 / 20.0, 1e-9);
+  EXPECT_NEAR(r.energy_fraction(6), 1.0, 1e-12);
+  EXPECT_NEAR(r.energy_fraction(0), 0.0, 1e-12);
+}
+
+TEST(EigTest, SweepExhaustionThrows) {
+  Rng rng(23);
+  Matrix g = rng.complex_gaussian_matrix(16, 16);
+  Matrix a = (g + g.adjoint()) * cx{0.5, 0.0};
+  JacobiOptions opts;
+  opts.max_sweeps = 0;
+  EXPECT_THROW(hermitian_eig(a, opts), convergence_error);
+}
+
+// ----------------------------------------------------------- QL solver ----
+
+TEST(EigQlTest, MatchesJacobiOnRandomHermitian) {
+  Rng rng(61);
+  for (const index_t n : {index_t{2}, index_t{5}, index_t{16}, index_t{40}}) {
+    Matrix g = rng.complex_gaussian_matrix(n, n);
+    Matrix a = (g + g.adjoint()) * cx{0.5, 0.0};
+    const EigResult rj = hermitian_eig(a);
+    const EigResult rq = hermitian_eig_ql(a);
+    for (index_t k = 0; k < n; ++k)
+      EXPECT_NEAR(rj.eigenvalues[k], rq.eigenvalues[k],
+                  1e-10 * (1.0 + std::abs(rj.eigenvalues[k])))
+          << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(EigQlTest, EigenpairsSatisfyDefinition) {
+  Rng rng(62);
+  Matrix g = rng.complex_gaussian_matrix(24, 24);
+  Matrix a = (g + g.adjoint()) * cx{0.5, 0.0};
+  const EigResult r = hermitian_eig_ql(a);
+  for (index_t k = 0; k < 24; ++k) {
+    const Vector vk = r.eigenvectors.col(k);
+    EXPECT_TRUE(approx_equal(a * vk, cx{r.eigenvalues[k], 0.0} * vk, 1e-9));
+  }
+  const Matrix vhv = r.eigenvectors.adjoint() * r.eigenvectors;
+  EXPECT_TRUE(approx_equal(vhv, Matrix::identity(24), 1e-10));
+}
+
+TEST(EigQlTest, DiagonalAndTinyMatrices) {
+  const real d[] = {4.0, -2.0, 1.0};
+  const EigResult r =
+      hermitian_eig_ql(Matrix::diagonal(std::span<const real>(d)));
+  EXPECT_NEAR(r.eigenvalues[0], 4.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[2], -2.0, 1e-12);
+  // 1×1.
+  Matrix one{{cx{7.0, 0.0}}};
+  EXPECT_NEAR(hermitian_eig_ql(one).eigenvalues[0], 7.0, 1e-12);
+}
+
+TEST(EigQlTest, ComplexPhaseStructurePreserved) {
+  // A matrix whose Householder reduction produces genuinely complex
+  // off-diagonals; the phase-folding step must keep eigenvectors exact.
+  Rng rng(63);
+  Vector x = rng.random_unit_vector(12);
+  Matrix a = Matrix::outer(x, x) * cx{3.0, 0.0} +
+             Matrix::identity(12) * cx{0.5, 0.0};
+  const EigResult r = hermitian_eig_ql(a);
+  EXPECT_NEAR(r.eigenvalues[0], 3.5, 1e-10);
+  EXPECT_NEAR(std::abs(dot(r.principal_eigenvector(), x)), 1.0, 1e-9);
+}
+
+TEST(EigQlTest, RejectsNonHermitian) {
+  Matrix not_h{{cx{0, 0}, cx{1, 0}}, {cx{2, 0}, cx{0, 0}}};
+  EXPECT_THROW(hermitian_eig_ql(not_h), precondition_error);
+  EXPECT_THROW(hermitian_eig_ql(Matrix(2, 3)), precondition_error);
+}
+
+// ---------------------------------------------------------------- SVD -----
+
+TEST(SvdTest, DiagonalRectangular) {
+  Matrix a(3, 2);
+  a(0, 0) = cx{3, 0};
+  a(1, 1) = cx{2, 0};
+  const SvdResult s = svd(a);
+  ASSERT_EQ(s.singular_values.size(), 2u);
+  EXPECT_NEAR(s.singular_values[0], 3.0, 1e-10);
+  EXPECT_NEAR(s.singular_values[1], 2.0, 1e-10);
+}
+
+TEST(SvdTest, ReconstructsTallMatrix) {
+  Rng rng(31);
+  Matrix a = rng.complex_gaussian_matrix(6, 4);
+  const SvdResult s = svd(a);
+  Matrix rebuilt(6, 4);
+  for (index_t k = 0; k < 4; ++k) {
+    const Vector uk = s.u.col(k);
+    const Vector vk = s.v.col(k);
+    rebuilt += cx{s.singular_values[k], 0.0} * Matrix::outer(uk, vk);
+  }
+  EXPECT_TRUE(approx_equal(rebuilt, a, 1e-8 * a.frobenius_norm()));
+}
+
+TEST(SvdTest, ReconstructsWideMatrix) {
+  Rng rng(37);
+  Matrix a = rng.complex_gaussian_matrix(3, 7);
+  const SvdResult s = svd(a);
+  ASSERT_EQ(s.singular_values.size(), 3u);
+  Matrix rebuilt(3, 7);
+  for (index_t k = 0; k < 3; ++k)
+    rebuilt += cx{s.singular_values[k], 0.0} *
+               Matrix::outer(s.u.col(k), s.v.col(k));
+  EXPECT_TRUE(approx_equal(rebuilt, a, 1e-8 * a.frobenius_norm()));
+}
+
+TEST(SvdTest, SingularValuesNonNegativeDescending) {
+  Rng rng(41);
+  Matrix a = rng.complex_gaussian_matrix(8, 8);
+  const SvdResult s = svd(a);
+  for (index_t k = 0; k < s.singular_values.size(); ++k) {
+    EXPECT_GE(s.singular_values[k], 0.0);
+    if (k > 0) {
+      EXPECT_GE(s.singular_values[k - 1], s.singular_values[k]);
+    }
+  }
+}
+
+TEST(SvdTest, RankDeficientHasZeroSingularValues) {
+  Rng rng(43);
+  Vector x = rng.random_unit_vector(5);
+  Vector y = rng.random_unit_vector(5);
+  Matrix a = Matrix::outer(x, y);  // rank 1
+  const SvdResult s = svd(a);
+  EXPECT_NEAR(s.singular_values[0], 1.0, 1e-9);
+  for (index_t k = 1; k < 5; ++k)
+    EXPECT_NEAR(s.singular_values[k], 0.0, 1e-7);
+}
+
+TEST(SvdTest, EmptyThrows) { EXPECT_THROW(svd(Matrix()), precondition_error); }
+
+}  // namespace
+}  // namespace mmw::linalg

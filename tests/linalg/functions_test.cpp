@@ -1,0 +1,187 @@
+#include "linalg/functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "randgen/rng.h"
+
+namespace mmw::linalg {
+namespace {
+
+using randgen::Rng;
+
+TEST(PsdProjectTest, PsdInputUnchanged) {
+  const real d[] = {2.0, 1.0, 0.5};
+  Matrix a = Matrix::diagonal(std::span<const real>(d));
+  EXPECT_TRUE(approx_equal(psd_project(a), a, 1e-10));
+}
+
+TEST(PsdProjectTest, NegativeEigenvaluesClipped) {
+  const real d[] = {2.0, -3.0};
+  Matrix p = psd_project(Matrix::diagonal(std::span<const real>(d)));
+  EXPECT_NEAR(p(0, 0).real(), 2.0, 1e-10);
+  EXPECT_NEAR(p(1, 1).real(), 0.0, 1e-10);
+}
+
+TEST(PsdProjectTest, ResultIsAlwaysPsd) {
+  Rng rng(3);
+  Matrix g = rng.complex_gaussian_matrix(8, 8);
+  Matrix a = (g + g.adjoint()) * cx{0.5, 0.0};
+  Matrix p = psd_project(a);
+  const EigResult r = hermitian_eig(p);
+  for (const real e : r.eigenvalues) EXPECT_GE(e, -1e-9);
+}
+
+TEST(PsdProjectTest, ProjectionIsIdempotent) {
+  Rng rng(4);
+  Matrix g = rng.complex_gaussian_matrix(6, 6);
+  Matrix a = (g + g.adjoint()) * cx{0.5, 0.0};
+  Matrix p = psd_project(a);
+  EXPECT_TRUE(approx_equal(psd_project(p), p, 1e-8 * (1.0 + p.frobenius_norm())));
+}
+
+TEST(HermitianSqrtTest, SquaresBack) {
+  Rng rng(5);
+  Matrix x = rng.complex_gaussian_matrix(6, 3);
+  Matrix a = x * x.adjoint();  // PSD, rank ≤ 3
+  Matrix s = hermitian_sqrt(a);
+  EXPECT_TRUE(approx_equal(s * s, a, 1e-8 * (1.0 + a.frobenius_norm())));
+  EXPECT_TRUE(s.is_hermitian(1e-8));
+}
+
+TEST(HermitianSqrtTest, IdentityRoot) {
+  EXPECT_TRUE(approx_equal(hermitian_sqrt(Matrix::identity(4)),
+                           Matrix::identity(4), 1e-10));
+}
+
+TEST(HermitianSqrtTest, RejectsIndefinite) {
+  const real d[] = {1.0, -2.0};
+  EXPECT_THROW(hermitian_sqrt(Matrix::diagonal(std::span<const real>(d))),
+               precondition_error);
+}
+
+TEST(SoftThresholdTest, ShrinksEigenvalues) {
+  const real d[] = {5.0, 2.0, 0.5};
+  Matrix s =
+      eigenvalue_soft_threshold(Matrix::diagonal(std::span<const real>(d)), 1.0);
+  EXPECT_NEAR(s(0, 0).real(), 4.0, 1e-10);
+  EXPECT_NEAR(s(1, 1).real(), 1.0, 1e-10);
+  EXPECT_NEAR(s(2, 2).real(), 0.0, 1e-10);  // clipped at zero
+}
+
+TEST(SoftThresholdTest, ZeroThresholdOnPsdIsIdentityMap) {
+  Rng rng(6);
+  Matrix x = rng.complex_gaussian_matrix(5, 5);
+  Matrix a = x * x.adjoint();
+  EXPECT_TRUE(approx_equal(eigenvalue_soft_threshold(a, 0.0), a,
+                           1e-8 * a.frobenius_norm()));
+}
+
+TEST(SoftThresholdTest, LargeThresholdAnnihilates) {
+  Rng rng(7);
+  Matrix x = rng.complex_gaussian_matrix(4, 4);
+  Matrix a = x * x.adjoint();
+  Matrix s = eigenvalue_soft_threshold(a, 1e6);
+  EXPECT_NEAR(s.frobenius_norm(), 0.0, 1e-6);
+}
+
+TEST(SoftThresholdTest, NegativeThresholdRejected) {
+  EXPECT_THROW(eigenvalue_soft_threshold(Matrix::identity(2), -1.0),
+               precondition_error);
+}
+
+TEST(SoftThresholdTest, ReducesRank) {
+  const real d[] = {5.0, 0.5, 0.4, 0.3};
+  Matrix s =
+      eigenvalue_soft_threshold(Matrix::diagonal(std::span<const real>(d)), 1.0);
+  EXPECT_EQ(numerical_rank(s), 1u);
+}
+
+TEST(NormTest, NuclearNormOfDiagonal) {
+  const real d[] = {3.0, -4.0};
+  EXPECT_NEAR(nuclear_norm(Matrix::diagonal(std::span<const real>(d))), 7.0,
+              1e-9);
+}
+
+TEST(NormTest, SpectralNormOfDiagonal) {
+  const real d[] = {3.0, -4.0};
+  EXPECT_NEAR(spectral_norm(Matrix::diagonal(std::span<const real>(d))), 4.0,
+              1e-9);
+}
+
+TEST(NormTest, NormInequalities) {
+  Rng rng(8);
+  Matrix a = rng.complex_gaussian_matrix(6, 6);
+  const real spec = spectral_norm(a);
+  const real frob = a.frobenius_norm();
+  const real nuc = nuclear_norm(a);
+  EXPECT_LE(spec, frob + 1e-9);
+  EXPECT_LE(frob, nuc + 1e-9);
+}
+
+TEST(RankTest, ExactLowRank) {
+  Rng rng(9);
+  Matrix x = rng.complex_gaussian_matrix(8, 3);
+  EXPECT_EQ(numerical_rank(x * x.adjoint(), 1e-8), 3u);
+}
+
+TEST(RankTest, ZeroMatrixHasRankZero) {
+  EXPECT_EQ(numerical_rank(Matrix(4, 4)), 0u);
+}
+
+TEST(RankTest, FullRankIdentity) {
+  EXPECT_EQ(numerical_rank(Matrix::identity(5)), 5u);
+}
+
+TEST(KroneckerTest, Dimensions) {
+  Matrix a(2, 3), b(4, 5);
+  Matrix k = kronecker(a, b);
+  EXPECT_EQ(k.rows(), 8u);
+  EXPECT_EQ(k.cols(), 15u);
+}
+
+TEST(KroneckerTest, IdentityKronIdentity) {
+  EXPECT_TRUE(approx_equal(kronecker(Matrix::identity(2), Matrix::identity(3)),
+                           Matrix::identity(6), 1e-14));
+}
+
+TEST(KroneckerTest, MixedProductProperty) {
+  Rng rng(10);
+  Matrix a = rng.complex_gaussian_matrix(2, 2);
+  Matrix b = rng.complex_gaussian_matrix(3, 3);
+  Matrix c = rng.complex_gaussian_matrix(2, 2);
+  Matrix d = rng.complex_gaussian_matrix(3, 3);
+  // (A⊗B)(C⊗D) = (AC)⊗(BD)
+  Matrix lhs = kronecker(a, b) * kronecker(c, d);
+  Matrix rhs = kronecker(a * c, b * d);
+  EXPECT_TRUE(approx_equal(lhs, rhs, 1e-9 * (1.0 + rhs.frobenius_norm())));
+}
+
+TEST(LowRankApproxTest, TruncatesToRankK) {
+  Rng rng(11);
+  Matrix a = rng.complex_gaussian_matrix(8, 8);
+  Matrix a2 = low_rank_approximation(a, 2);
+  EXPECT_EQ(numerical_rank(a2, 1e-8), 2u);
+}
+
+TEST(LowRankApproxTest, FullRankIsExact) {
+  Rng rng(12);
+  Matrix a = rng.complex_gaussian_matrix(5, 5);
+  EXPECT_TRUE(approx_equal(low_rank_approximation(a, 5), a,
+                           1e-8 * a.frobenius_norm()));
+}
+
+TEST(LowRankApproxTest, OptimalityVsRandomRankK) {
+  // The truncated SVD must beat a random rank-k approximation.
+  Rng rng(13);
+  Matrix a = rng.complex_gaussian_matrix(6, 6);
+  Matrix best = low_rank_approximation(a, 2);
+  Vector x = rng.random_unit_vector(6);
+  Vector y = rng.random_unit_vector(6);
+  Matrix rnd = Matrix::outer(x, y);
+  EXPECT_LE((a - best).frobenius_norm(), (a - rnd).frobenius_norm() + 1e-12);
+}
+
+}  // namespace
+}  // namespace mmw::linalg

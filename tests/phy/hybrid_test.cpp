@@ -1,0 +1,146 @@
+#include "phy/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "antenna/steering.h"
+#include "channel/models.h"
+#include "linalg/eig.h"
+#include "phy/capacity.h"
+#include "randgen/rng.h"
+
+namespace mmw::phy {
+namespace {
+
+using antenna::ArrayGeometry;
+using linalg::Matrix;
+using linalg::Vector;
+using randgen::Rng;
+
+/// Steering dictionary over the sector for the TX array.
+std::vector<Vector> make_dictionary(const ArrayGeometry& geo, index_t n_az,
+                                    index_t n_el) {
+  std::vector<Vector> dict;
+  for (index_t ia = 0; ia < n_az; ++ia) {
+    const real az = -M_PI / 3 + 2 * M_PI / 3 * static_cast<real>(ia) /
+                                    static_cast<real>(n_az - 1);
+    for (index_t ie = 0; ie < n_el; ++ie) {
+      const real el = -M_PI / 6 + M_PI / 3 * static_cast<real>(ie) /
+                                      static_cast<real>(n_el - 1);
+      dict.push_back(antenna::steering_vector(geo, {az, el}));
+    }
+  }
+  return dict;
+}
+
+struct Fixture {
+  ArrayGeometry tx = ArrayGeometry::upa(4, 4);
+  ArrayGeometry rx = ArrayGeometry::upa(8, 8);
+  std::vector<Vector> dict = make_dictionary(tx, 9, 5);
+  Rng rng{5};
+
+  Matrix sparse_channel(index_t paths) {
+    std::vector<channel::Path> ps;
+    for (index_t p = 0; p < paths; ++p)
+      ps.push_back({1.0 / static_cast<real>(paths),
+                    {rng.uniform(-1.0, 1.0), rng.uniform(-0.4, 0.4)},
+                    {rng.uniform(-1.0, 1.0), rng.uniform(-0.4, 0.4)}});
+    return channel::make_fixed_paths_link(tx, rx, std::move(ps))
+        .draw_channel(rng);
+  }
+};
+
+TEST(DigitalPrecoderTest, ColumnsAreTopRightSingularVectors) {
+  Fixture f;
+  const Matrix h = f.sparse_channel(3);
+  const Matrix fd = optimal_digital_precoder(h, 2);
+  EXPECT_EQ(fd.rows(), 16u);
+  EXPECT_EQ(fd.cols(), 2u);
+  const auto svd = linalg::svd(h);
+  for (index_t s = 0; s < 2; ++s)
+    EXPECT_NEAR(std::abs(linalg::dot(fd.col(s), svd.v.col(s))), 1.0, 1e-9);
+}
+
+TEST(HybridTest, InputValidation) {
+  Fixture f;
+  const Matrix h = f.sparse_channel(2);
+  EXPECT_THROW(design_hybrid_precoder(h, 2, 1, f.dict), precondition_error);
+  EXPECT_THROW(design_hybrid_precoder(h, 1, f.dict.size() + 1, f.dict),
+               precondition_error);
+  EXPECT_THROW(design_hybrid_precoder(h, 1, 1, {}), precondition_error);
+  std::vector<Vector> bad{Vector(3)};
+  EXPECT_THROW(design_hybrid_precoder(h, 1, 1, bad), precondition_error);
+}
+
+TEST(HybridTest, PowerNormalization) {
+  Fixture f;
+  const Matrix h = f.sparse_channel(3);
+  for (const index_t n_rf : {index_t{2}, index_t{4}, index_t{6}}) {
+    const auto res = design_hybrid_precoder(h, 2, n_rf, f.dict);
+    EXPECT_NEAR((res.f_rf * res.f_bb).frobenius_norm(), std::sqrt(2.0),
+                1e-9);
+    EXPECT_EQ(res.f_rf.cols(), res.atom_indices.size());
+    EXPECT_LE(res.atom_indices.size(), n_rf);
+  }
+}
+
+TEST(HybridTest, ApproximationErrorDecreasesWithRfChains) {
+  Fixture f;
+  const Matrix h = f.sparse_channel(4);
+  real prev = 1e9;
+  for (const index_t n_rf : {index_t{1}, index_t{2}, index_t{4}, index_t{8}}) {
+    const auto res = design_hybrid_precoder(h, 1, n_rf, f.dict);
+    EXPECT_LE(res.approximation_error, prev + 1e-9);
+    prev = res.approximation_error;
+  }
+}
+
+TEST(HybridTest, NearDigitalOnSparseChannelWithFewChains) {
+  // The headline result: on a 2-path channel, 4 RF chains ≈ fully digital.
+  Fixture f;
+  const Matrix h = f.sparse_channel(2);
+  const index_t n_streams = 2;
+  const Matrix fd = optimal_digital_precoder(h, n_streams);
+  const auto hybrid = design_hybrid_precoder(h, n_streams, 4, f.dict);
+  const real digital = precoded_spectral_efficiency(h, fd, 1.0);
+  const real hyb = precoded_spectral_efficiency(
+      h, hybrid.f_rf * hybrid.f_bb, 1.0);
+  EXPECT_GT(hyb, 0.85 * digital);
+}
+
+TEST(HybridTest, MoreChainsNeverHurtSpectralEfficiency) {
+  Fixture f;
+  const Matrix h = f.sparse_channel(4);
+  real prev = 0.0;
+  for (const index_t n_rf : {index_t{2}, index_t{4}, index_t{8}}) {
+    const auto res = design_hybrid_precoder(h, 2, n_rf, f.dict);
+    const real se =
+        precoded_spectral_efficiency(h, res.f_rf * res.f_bb, 1.0);
+    EXPECT_GE(se, prev - 0.3);  // allow small OMP non-monotonicity
+    prev = se;
+  }
+}
+
+TEST(SpectralEfficiencyTest, SingleStreamMatchesBeamformingFormula) {
+  Fixture f;
+  const Matrix h = f.sparse_channel(1);
+  // Rank-one precoder = unit-norm vector: log2(1 + P|Hf|²-quadratic form).
+  const Vector v = f.rng.random_unit_vector(16);
+  Matrix fmat(16, 1);
+  fmat.set_col(0, v);
+  const real se = precoded_spectral_efficiency(h, fmat, 2.0);
+  const real expected = std::log2(1.0 + 2.0 * (h * v).squared_norm());
+  EXPECT_NEAR(se, expected, 1e-9);
+}
+
+TEST(SpectralEfficiencyTest, Validation) {
+  const Matrix h(4, 2);
+  EXPECT_THROW(precoded_spectral_efficiency(h, Matrix(3, 1), 1.0),
+               precondition_error);
+  EXPECT_THROW(precoded_spectral_efficiency(h, Matrix(2, 1), 0.0),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace mmw::phy

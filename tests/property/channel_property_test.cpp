@@ -1,0 +1,108 @@
+// Property sweeps over the channel simulator: second-order consistency of
+// every generator across seeds and configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/models.h"
+#include "linalg/eig.h"
+
+namespace mmw::channel {
+namespace {
+
+using antenna::ArrayGeometry;
+using linalg::Matrix;
+using linalg::Vector;
+using randgen::Rng;
+
+struct ChannelCase {
+  bool multipath;
+  index_t tx_n, rx_n;  // square UPA side lengths
+  std::uint64_t seed;
+};
+
+void PrintTo(const ChannelCase& c, std::ostream* os) {
+  *os << (c.multipath ? "nyc" : "single") << "_tx" << c.tx_n << "_rx"
+      << c.rx_n << "_seed" << c.seed;
+}
+
+class ChannelProperty : public ::testing::TestWithParam<ChannelCase> {
+ protected:
+  Link make_link(Rng& rng) const {
+    const auto& p = GetParam();
+    const auto tx = ArrayGeometry::upa(p.tx_n, p.tx_n);
+    const auto rx = ArrayGeometry::upa(p.rx_n, p.rx_n);
+    return p.multipath ? make_nyc_multipath_link(tx, rx, rng)
+                       : make_single_path_link(tx, rx, rng);
+  }
+};
+
+TEST_P(ChannelProperty, UnitTotalPowerAndPsdCovariance) {
+  Rng rng(GetParam().seed);
+  const Link link = make_link(rng);
+  EXPECT_NEAR(link.total_power(), 1.0, 1e-9);
+  const Matrix q = link.rx_covariance();
+  EXPECT_TRUE(q.is_hermitian(1e-9 * (1.0 + q.max_abs())));
+  const auto eig = linalg::hermitian_eig(q);
+  for (const real e : eig.eigenvalues)
+    EXPECT_GE(e, -1e-7 * (1.0 + eig.eigenvalues[0]));
+}
+
+TEST_P(ChannelProperty, CovarianceTraceIsArrayGainTimesPower) {
+  // tr(Q) = NM·Σp_l·‖a_rx‖² = NM (unit powers, unit-norm steering).
+  Rng rng(GetParam().seed + 1);
+  const Link link = make_link(rng);
+  const real nm = static_cast<real>(link.tx_size() * link.rx_size());
+  EXPECT_NEAR(link.rx_covariance().trace().real(), nm, 1e-6 * nm);
+}
+
+TEST_P(ChannelProperty, BeamCovarianceDominatedByFullCovariance) {
+  // Q_u ⪯ Q for any unit-norm u (couplings |a_txᴴu|² ≤ 1).
+  Rng rng(GetParam().seed + 2);
+  const Link link = make_link(rng);
+  const Vector u = rng.random_unit_vector(link.tx_size());
+  const Matrix diff =
+      link.rx_covariance() - link.rx_covariance_for_beam(u);
+  const auto eig = linalg::hermitian_eig(diff);
+  for (const real e : eig.eigenvalues)
+    EXPECT_GE(e, -1e-7 * (1.0 + std::abs(eig.eigenvalues[0])));
+}
+
+TEST_P(ChannelProperty, EffectiveChannelSecondMomentMatchesQu) {
+  Rng rng(GetParam().seed + 3);
+  const Link link = make_link(rng);
+  const Vector u = rng.random_unit_vector(link.tx_size());
+  const Matrix qu = link.rx_covariance_for_beam(u);
+  const index_t n = link.rx_size();
+  Matrix acc(n, n);
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    const Vector h = link.draw_effective_channel(u, rng);
+    acc += Matrix::outer(h, h);
+  }
+  acc /= cx{static_cast<real>(trials), 0.0};
+  EXPECT_LT((acc - qu).frobenius_norm(),
+            0.35 * (1.0 + qu.frobenius_norm()));
+}
+
+TEST_P(ChannelProperty, MeanPairGainBoundedByFullArrayGain) {
+  Rng rng(GetParam().seed + 4);
+  const Link link = make_link(rng);
+  const real nm = static_cast<real>(link.tx_size() * link.rx_size());
+  for (int t = 0; t < 20; ++t) {
+    const real g = link.mean_pair_gain(rng.random_unit_vector(link.tx_size()),
+                                       rng.random_unit_vector(link.rx_size()));
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, nm * (1.0 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ChannelProperty,
+    ::testing::Values(ChannelCase{false, 2, 2, 1}, ChannelCase{false, 4, 4, 2},
+                      ChannelCase{false, 2, 4, 3}, ChannelCase{true, 2, 2, 4},
+                      ChannelCase{true, 4, 4, 5}, ChannelCase{true, 2, 4, 6},
+                      ChannelCase{true, 4, 8, 7}));
+
+}  // namespace
+}  // namespace mmw::channel

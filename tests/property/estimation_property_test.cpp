@@ -1,0 +1,136 @@
+// Property sweeps over the covariance estimators: structural invariants
+// that must hold for every (dimension, rank, measurement-count) regime.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimation/covariance_ml.h"
+#include "linalg/eig.h"
+#include "linalg/functions.h"
+#include "randgen/rng.h"
+
+namespace mmw::estimation {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using randgen::Rng;
+
+struct EstCase {
+  index_t n;
+  index_t rank;
+  index_t measurements;
+  std::uint64_t seed;
+};
+
+void PrintTo(const EstCase& c, std::ostream* os) {
+  *os << "n" << c.n << "_r" << c.rank << "_J" << c.measurements << "_seed"
+      << c.seed;
+}
+
+class EstimatorProperty : public ::testing::TestWithParam<EstCase> {
+ protected:
+  static constexpr real kGamma = 100.0;
+
+  Matrix planted(Rng& rng) const {
+    const auto& p = GetParam();
+    Matrix q(p.n, p.n);
+    for (index_t k = 0; k < p.rank; ++k) {
+      const Vector x = rng.random_unit_vector(p.n);
+      q += Matrix::outer(x, x) *
+           cx{static_cast<real>(p.n) * 2.0 / p.rank, 0.0};
+    }
+    return q;
+  }
+
+  std::vector<BeamMeasurement> measure(const Matrix& q, Rng& rng) const {
+    const auto& p = GetParam();
+    const Matrix root = linalg::hermitian_sqrt(q);
+    std::vector<BeamMeasurement> out;
+    for (index_t j = 0; j < p.measurements; ++j) {
+      BeamMeasurement m;
+      m.beam = rng.random_unit_vector(p.n);
+      const Vector h = root * rng.complex_gaussian_vector(p.n);
+      m.energy = std::norm(linalg::dot(m.beam, h) +
+                           rng.complex_normal(1.0 / kGamma));
+      out.push_back(std::move(m));
+    }
+    return out;
+  }
+};
+
+TEST_P(EstimatorProperty, MlEstimateIsHermitianPsdInBeamSpan) {
+  const auto& p = GetParam();
+  Rng rng(p.seed);
+  const Matrix q = planted(rng);
+  const auto ms = measure(q, rng);
+  CovarianceMlOptions opts;
+  opts.gamma = kGamma;
+  const auto res = estimate_covariance_ml(p.n, ms, opts);
+
+  EXPECT_TRUE(res.q.is_hermitian(1e-8 * (1.0 + res.q.max_abs())));
+  const auto eig = linalg::hermitian_eig(res.q);
+  for (const real e : eig.eigenvalues)
+    EXPECT_GE(e, -1e-7 * (1.0 + std::abs(eig.eigenvalues[0])));
+
+  // Span containment: rank(Q̂) ≤ number of measurements.
+  EXPECT_LE(linalg::numerical_rank(res.q, 1e-7), p.measurements);
+}
+
+TEST_P(EstimatorProperty, MlObjectiveNoWorseThanWarmStart) {
+  const auto& p = GetParam();
+  Rng rng(p.seed + 1);
+  const Matrix q = planted(rng);
+  const auto ms = measure(q, rng);
+  CovarianceMlOptions opts;
+  opts.gamma = kGamma;
+  const Matrix warm = sample_covariance_estimate(p.n, ms, kGamma);
+  const real f_warm = negative_log_likelihood(warm, ms, kGamma) +
+                      opts.mu * warm.trace().real();
+  const auto res = estimate_covariance_ml(p.n, ms, opts);
+  EXPECT_LE(res.objective, f_warm + 1e-9 * (1.0 + std::abs(f_warm)));
+}
+
+TEST_P(EstimatorProperty, MomentEstimatorsAreHermitianPsd) {
+  const auto& p = GetParam();
+  Rng rng(p.seed + 2);
+  const Matrix q = planted(rng);
+  const auto ms = measure(q, rng);
+  for (const Matrix& est :
+       {sample_covariance_estimate(p.n, ms, kGamma),
+        diagonal_loading_estimate(p.n, ms, kGamma)}) {
+    EXPECT_TRUE(est.is_hermitian(1e-9 * (1.0 + est.max_abs())));
+    const auto eig = linalg::hermitian_eig(est);
+    for (const real e : eig.eigenvalues)
+      EXPECT_GE(e, -1e-8 * (1.0 + std::abs(eig.eigenvalues[0])));
+  }
+}
+
+TEST_P(EstimatorProperty, PredictedEnergiesTrackMeasurementsInAggregate) {
+  // Σ_j λ_j(Q̂) should be within a factor of Σ_j w_j — the ML fit cannot
+  // systematically run away from the data it maximizes.
+  const auto& p = GetParam();
+  Rng rng(p.seed + 3);
+  const Matrix q = planted(rng);
+  const auto ms = measure(q, rng);
+  CovarianceMlOptions opts;
+  opts.gamma = kGamma;
+  const auto res = estimate_covariance_ml(p.n, ms, opts);
+  real lambda_sum = 0.0, w_sum = 0.0;
+  for (const auto& m : ms) {
+    lambda_sum += expected_energy(res.q, m.beam, kGamma);
+    w_sum += m.energy;
+  }
+  EXPECT_GT(lambda_sum, 0.1 * w_sum);
+  EXPECT_LT(lambda_sum, 10.0 * w_sum + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, EstimatorProperty,
+    ::testing::Values(EstCase{4, 1, 3, 1}, EstCase{8, 1, 6, 2},
+                      EstCase{8, 2, 12, 3}, EstCase{16, 1, 8, 4},
+                      EstCase{16, 3, 24, 5}, EstCase{32, 2, 10, 6},
+                      EstCase{64, 2, 9, 7}));
+
+}  // namespace
+}  // namespace mmw::estimation

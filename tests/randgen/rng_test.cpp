@@ -1,0 +1,176 @@
+#include "randgen/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mmw::randgen {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ForkProducesIndependentButDeterministicStreams) {
+  Rng parent1(77), parent2(77);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1.uniform(), child2.uniform());
+  // Child differs from a fresh same-seed parent stream.
+  Rng parent3(77);
+  Rng child3 = parent3.fork();
+  EXPECT_NE(child3.uniform(), Rng(77).uniform());
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const real x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 0.0), precondition_error);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(3);
+  const int n = 20000;
+  real sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const real x = rng.normal(1.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const real mean = sum / n;
+  const real var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ComplexNormalVarianceSplit) {
+  Rng rng(4);
+  const int n = 20000;
+  real pw = 0.0, re = 0.0, im = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const cx z = rng.complex_normal(3.0);
+    pw += std::norm(z);
+    re += z.real() * z.real();
+    im += z.imag() * z.imag();
+  }
+  EXPECT_NEAR(pw / n, 3.0, 0.15);
+  EXPECT_NEAR(re / n, 1.5, 0.1);
+  EXPECT_NEAR(im / n, 1.5, 0.1);
+}
+
+TEST(RngTest, ChiSquaredMean) {
+  Rng rng(5);
+  const int n = 20000;
+  real sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.chi_squared(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+  EXPECT_THROW(rng.chi_squared(0.0), precondition_error);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(6);
+  const int n = 20000;
+  real sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 0.5, 0.05);
+  EXPECT_THROW(rng.exponential(0.0), precondition_error);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(7);
+  const int n = 20000;
+  real sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<real>(rng.poisson(1.8));
+  EXPECT_NEAR(sum / n, 1.8, 0.1);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(8);
+  const int n = 20001;
+  std::vector<real> xs(n);
+  for (auto& x : xs) x = rng.lognormal(0.0, 1.0);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 1.0, 0.1);  // median of exp(N(0,1)) is e⁰ = 1
+}
+
+TEST(RngTest, AngleRange) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const real a = rng.angle();
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, 2.0 * M_PI);
+  }
+}
+
+TEST(RngTest, GaussianVectorPower) {
+  Rng rng(10);
+  const auto v = rng.complex_gaussian_vector(5000, 2.0);
+  EXPECT_NEAR(v.squared_norm() / 5000.0, 2.0, 0.15);
+}
+
+TEST(RngTest, GaussianMatrixShape) {
+  Rng rng(11);
+  const auto m = rng.complex_gaussian_matrix(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST(RngTest, RandomUnitVectorHasUnitNorm) {
+  Rng rng(12);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_NEAR(rng.random_unit_vector(8).norm(), 1.0, 1e-12);
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng rng(13);
+  const auto s = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<index_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto i : s) EXPECT_LT(i, 100u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), precondition_error);
+}
+
+TEST(RngTest, SampleCoversFullRangeOverTrials) {
+  Rng rng(14);
+  std::set<index_t> seen;
+  for (int t = 0; t < 200; ++t) {
+    for (const auto i : rng.sample_without_replacement(10, 3)) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // every index reachable
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(15);
+  const auto p = rng.permutation(50);
+  EXPECT_EQ(p.size(), 50u);
+  std::set<index_t> unique(p.begin(), p.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+}  // namespace
+}  // namespace mmw::randgen

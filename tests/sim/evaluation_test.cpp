@@ -1,0 +1,93 @@
+#include "sim/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/models.h"
+
+namespace mmw::sim {
+namespace {
+
+using antenna::ArrayGeometry;
+using antenna::Codebook;
+using channel::Link;
+using mac::MeasurementRecord;
+using randgen::Rng;
+
+struct Fixture {
+  ArrayGeometry tx = ArrayGeometry::upa(2, 2);
+  ArrayGeometry rx = ArrayGeometry::upa(2, 2);
+  Rng rng{3};
+  Link link = channel::make_single_path_link(tx, rx, rng);
+  Codebook tx_cb = Codebook::dft(tx);
+  Codebook rx_cb = Codebook::dft(rx);
+  core::PairGainOracle oracle{link, tx_cb, rx_cb};
+};
+
+TEST(EvaluationTest, BestInPrefixPicksMaxEnergy) {
+  std::vector<MeasurementRecord> recs{
+      {0, 0, 1.0}, {1, 1, 5.0}, {2, 2, 3.0}};
+  EXPECT_EQ(best_in_prefix(recs, 1).tx_beam, 0u);
+  EXPECT_EQ(best_in_prefix(recs, 2).tx_beam, 1u);
+  EXPECT_EQ(best_in_prefix(recs, 3).tx_beam, 1u);
+  EXPECT_THROW(best_in_prefix(recs, 0), precondition_error);
+  EXPECT_THROW(best_in_prefix(recs, 4), precondition_error);
+}
+
+TEST(EvaluationTest, LossAfterUsesOracle) {
+  Fixture f;
+  const auto [ot, orx] = f.oracle.optimal_pair();
+  std::vector<MeasurementRecord> recs{{(ot + 1) % 4, orx, 1.0},
+                                      {ot, orx, 2.0}};
+  EXPECT_GT(loss_after(f.oracle, recs, 1), 0.0);
+  EXPECT_NEAR(loss_after(f.oracle, recs, 2), 0.0, 1e-12);
+}
+
+TEST(EvaluationTest, TrajectoryIsNonIncreasingInBestEnergy) {
+  Fixture f;
+  // Energies ordered so the claimed pair switches twice.
+  const auto [ot, orx] = f.oracle.optimal_pair();
+  std::vector<MeasurementRecord> recs{
+      {(ot + 1) % 4, (orx + 1) % 4, 1.0},
+      {(ot + 2) % 4, orx, 4.0},
+      {(ot + 3) % 4, (orx + 2) % 4, 2.0},  // lower energy: no switch
+      {ot, orx, 9.0}};
+  const auto traj = loss_trajectory(f.oracle, recs);
+  ASSERT_EQ(traj.size(), 4u);
+  EXPECT_EQ(traj[1], traj[2]);  // non-switch keeps the loss
+  EXPECT_NEAR(traj[3], 0.0, 1e-12);
+}
+
+TEST(EvaluationTest, TrajectoryMatchesPrefixEvaluation) {
+  Fixture f;
+  Rng rng(5);
+  std::vector<MeasurementRecord> recs;
+  for (index_t t = 0; t < 4; ++t)
+    for (index_t r = 0; r < 4; ++r)
+      recs.push_back({t, r, rng.uniform()});
+  const auto traj = loss_trajectory(f.oracle, recs);
+  for (index_t k = 1; k <= recs.size(); ++k)
+    EXPECT_NEAR(traj[k - 1], loss_after(f.oracle, recs, k), 1e-12);
+}
+
+TEST(EvaluationTest, MeasurementsToReachFindsFirstCrossing) {
+  Fixture f;
+  const auto [ot, orx] = f.oracle.optimal_pair();
+  std::vector<MeasurementRecord> recs{{(ot + 1) % 4, (orx + 1) % 4, 1.0},
+                                      {ot, orx, 3.0},
+                                      {(ot + 2) % 4, orx, 0.5}};
+  const auto needed = measurements_to_reach(f.oracle, recs, 0.01);
+  ASSERT_TRUE(needed.has_value());
+  EXPECT_EQ(*needed, 2u);
+}
+
+TEST(EvaluationTest, MeasurementsToReachCanFail) {
+  Fixture f;
+  const auto [ot, orx] = f.oracle.optimal_pair();
+  std::vector<MeasurementRecord> recs{{(ot + 1) % 4, (orx + 1) % 4, 1.0}};
+  EXPECT_FALSE(measurements_to_reach(f.oracle, recs, 0.0).has_value());
+  EXPECT_THROW(measurements_to_reach(f.oracle, recs, -1.0),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace mmw::sim

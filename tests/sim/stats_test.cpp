@@ -1,0 +1,54 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmw::sim {
+namespace {
+
+TEST(StatsTest, SingleValue) {
+  const real xs[] = {3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(StatsTest, KnownSample) {
+  const real xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.minimum, 2.0);
+  EXPECT_DOUBLE_EQ(s.maximum, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(StatsTest, OddMedian) {
+  const real xs[] = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 5.0);
+}
+
+TEST(StatsTest, CiShrinksWithSampleSize) {
+  std::vector<real> small(10, 0.0), large(1000, 0.0);
+  for (index_t i = 0; i < small.size(); ++i) small[i] = (i % 2) ? 1.0 : -1.0;
+  for (index_t i = 0; i < large.size(); ++i) large[i] = (i % 2) ? 1.0 : -1.0;
+  EXPECT_GT(summarize(small).ci95_half_width(),
+            summarize(large).ci95_half_width());
+}
+
+TEST(StatsTest, EmptyThrows) {
+  EXPECT_THROW(summarize({}), precondition_error);
+  EXPECT_THROW(mean({}), precondition_error);
+}
+
+TEST(StatsTest, MeanHelper) {
+  const real xs[] = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+}
+
+}  // namespace
+}  // namespace mmw::sim
