@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_algorithm_variants.dir/ablation_algorithm_variants.cpp.o"
+  "CMakeFiles/ablation_algorithm_variants.dir/ablation_algorithm_variants.cpp.o.d"
+  "ablation_algorithm_variants"
+  "ablation_algorithm_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_algorithm_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blockage.dir/ablation_blockage.cpp.o"
+  "CMakeFiles/ablation_blockage.dir/ablation_blockage.cpp.o.d"
+  "ablation_blockage"
+  "ablation_blockage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blockage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_blockage.
+# This may be replaced when dependencies are built.

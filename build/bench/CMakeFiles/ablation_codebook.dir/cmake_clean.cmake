@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codebook.dir/ablation_codebook.cpp.o"
+  "CMakeFiles/ablation_codebook.dir/ablation_codebook.cpp.o.d"
+  "ablation_codebook"
+  "ablation_codebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

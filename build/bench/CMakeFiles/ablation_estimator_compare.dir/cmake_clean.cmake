@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_estimator_compare.dir/ablation_estimator_compare.cpp.o"
+  "CMakeFiles/ablation_estimator_compare.dir/ablation_estimator_compare.cpp.o.d"
+  "ablation_estimator_compare"
+  "ablation_estimator_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimator_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

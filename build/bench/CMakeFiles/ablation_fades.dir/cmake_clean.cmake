@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fades.dir/ablation_fades.cpp.o"
+  "CMakeFiles/ablation_fades.dir/ablation_fades.cpp.o.d"
+  "ablation_fades"
+  "ablation_fades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

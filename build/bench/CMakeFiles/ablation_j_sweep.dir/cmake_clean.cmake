@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_j_sweep.dir/ablation_j_sweep.cpp.o"
+  "CMakeFiles/ablation_j_sweep.dir/ablation_j_sweep.cpp.o.d"
+  "ablation_j_sweep"
+  "ablation_j_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_j_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mu_sweep.dir/ablation_mu_sweep.cpp.o"
+  "CMakeFiles/ablation_mu_sweep.dir/ablation_mu_sweep.cpp.o.d"
+  "ablation_mu_sweep"
+  "ablation_mu_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mu_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

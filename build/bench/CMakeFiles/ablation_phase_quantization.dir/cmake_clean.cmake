@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phase_quantization.dir/ablation_phase_quantization.cpp.o"
+  "CMakeFiles/ablation_phase_quantization.dir/ablation_phase_quantization.cpp.o.d"
+  "ablation_phase_quantization"
+  "ablation_phase_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phase_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

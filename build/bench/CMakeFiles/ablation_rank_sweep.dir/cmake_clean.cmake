@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rank_sweep.dir/ablation_rank_sweep.cpp.o"
+  "CMakeFiles/ablation_rank_sweep.dir/ablation_rank_sweep.cpp.o.d"
+  "ablation_rank_sweep"
+  "ablation_rank_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rank_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bidirectional.dir/ext_bidirectional.cpp.o"
+  "CMakeFiles/ext_bidirectional.dir/ext_bidirectional.cpp.o.d"
+  "ext_bidirectional"
+  "ext_bidirectional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

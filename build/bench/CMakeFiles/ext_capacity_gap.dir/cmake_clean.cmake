@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_capacity_gap.dir/ext_capacity_gap.cpp.o"
+  "CMakeFiles/ext_capacity_gap.dir/ext_capacity_gap.cpp.o.d"
+  "ext_capacity_gap"
+  "ext_capacity_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_capacity_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

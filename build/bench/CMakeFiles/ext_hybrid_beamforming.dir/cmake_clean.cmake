@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hybrid_beamforming.dir/ext_hybrid_beamforming.cpp.o"
+  "CMakeFiles/ext_hybrid_beamforming.dir/ext_hybrid_beamforming.cpp.o.d"
+  "ext_hybrid_beamforming"
+  "ext_hybrid_beamforming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hybrid_beamforming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

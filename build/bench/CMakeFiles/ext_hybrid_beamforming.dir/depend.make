@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_hybrid_beamforming.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_protocol_overhead.dir/ext_protocol_overhead.cpp.o"
+  "CMakeFiles/ext_protocol_overhead.dir/ext_protocol_overhead.cpp.o.d"
+  "ext_protocol_overhead"
+  "ext_protocol_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_protocol_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_strategies_compare.dir/ext_strategies_compare.cpp.o"
+  "CMakeFiles/ext_strategies_compare.dir/ext_strategies_compare.cpp.o.d"
+  "ext_strategies_compare"
+  "ext_strategies_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_strategies_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_wideband_selectivity.dir/ext_wideband_selectivity.cpp.o"
+  "CMakeFiles/ext_wideband_selectivity.dir/ext_wideband_selectivity.cpp.o.d"
+  "ext_wideband_selectivity"
+  "ext_wideband_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_wideband_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

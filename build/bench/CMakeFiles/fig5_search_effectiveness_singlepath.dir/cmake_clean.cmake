@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_search_effectiveness_singlepath.dir/fig5_search_effectiveness_singlepath.cpp.o"
+  "CMakeFiles/fig5_search_effectiveness_singlepath.dir/fig5_search_effectiveness_singlepath.cpp.o.d"
+  "fig5_search_effectiveness_singlepath"
+  "fig5_search_effectiveness_singlepath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_search_effectiveness_singlepath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_search_effectiveness_multipath.dir/fig6_search_effectiveness_multipath.cpp.o"
+  "CMakeFiles/fig6_search_effectiveness_multipath.dir/fig6_search_effectiveness_multipath.cpp.o.d"
+  "fig6_search_effectiveness_multipath"
+  "fig6_search_effectiveness_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_search_effectiveness_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_search_effectiveness_multipath.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cost_efficiency_singlepath.dir/fig7_cost_efficiency_singlepath.cpp.o"
+  "CMakeFiles/fig7_cost_efficiency_singlepath.dir/fig7_cost_efficiency_singlepath.cpp.o.d"
+  "fig7_cost_efficiency_singlepath"
+  "fig7_cost_efficiency_singlepath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cost_efficiency_singlepath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_cost_efficiency_singlepath.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cost_efficiency_multipath.dir/fig8_cost_efficiency_multipath.cpp.o"
+  "CMakeFiles/fig8_cost_efficiency_multipath.dir/fig8_cost_efficiency_multipath.cpp.o.d"
+  "fig8_cost_efficiency_multipath"
+  "fig8_cost_efficiency_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cost_efficiency_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alignment_cli.dir/alignment_cli.cpp.o"
+  "CMakeFiles/alignment_cli.dir/alignment_cli.cpp.o.d"
+  "alignment_cli"
+  "alignment_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alignment_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_search.dir/cell_search.cpp.o"
+  "CMakeFiles/cell_search.dir/cell_search.cpp.o.d"
+  "cell_search"
+  "cell_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cell_search.
+# This may be replaced when dependencies are built.

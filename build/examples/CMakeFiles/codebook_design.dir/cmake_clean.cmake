@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codebook_design.dir/codebook_design.cpp.o"
+  "CMakeFiles/codebook_design.dir/codebook_design.cpp.o.d"
+  "codebook_design"
+  "codebook_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codebook_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initial_access.dir/initial_access.cpp.o"
+  "CMakeFiles/initial_access.dir/initial_access.cpp.o.d"
+  "initial_access"
+  "initial_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initial_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

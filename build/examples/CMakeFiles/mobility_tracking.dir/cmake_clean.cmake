@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_tracking.dir/mobility_tracking.cpp.o"
+  "CMakeFiles/mobility_tracking.dir/mobility_tracking.cpp.o.d"
+  "mobility_tracking"
+  "mobility_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cell.dir/multi_cell.cpp.o"
+  "CMakeFiles/multi_cell.dir/multi_cell.cpp.o.d"
+  "multi_cell"
+  "multi_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

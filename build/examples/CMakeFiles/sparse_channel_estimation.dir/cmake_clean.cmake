@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_channel_estimation.dir/sparse_channel_estimation.cpp.o"
+  "CMakeFiles/sparse_channel_estimation.dir/sparse_channel_estimation.cpp.o.d"
+  "sparse_channel_estimation"
+  "sparse_channel_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_channel_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

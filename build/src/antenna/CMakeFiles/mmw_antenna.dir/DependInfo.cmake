@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/antenna/codebook.cpp" "src/antenna/CMakeFiles/mmw_antenna.dir/codebook.cpp.o" "gcc" "src/antenna/CMakeFiles/mmw_antenna.dir/codebook.cpp.o.d"
+  "/root/repo/src/antenna/geometry.cpp" "src/antenna/CMakeFiles/mmw_antenna.dir/geometry.cpp.o" "gcc" "src/antenna/CMakeFiles/mmw_antenna.dir/geometry.cpp.o.d"
+  "/root/repo/src/antenna/pattern.cpp" "src/antenna/CMakeFiles/mmw_antenna.dir/pattern.cpp.o" "gcc" "src/antenna/CMakeFiles/mmw_antenna.dir/pattern.cpp.o.d"
+  "/root/repo/src/antenna/steering.cpp" "src/antenna/CMakeFiles/mmw_antenna.dir/steering.cpp.o" "gcc" "src/antenna/CMakeFiles/mmw_antenna.dir/steering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/mmw_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmw_antenna.dir/codebook.cpp.o"
+  "CMakeFiles/mmw_antenna.dir/codebook.cpp.o.d"
+  "CMakeFiles/mmw_antenna.dir/geometry.cpp.o"
+  "CMakeFiles/mmw_antenna.dir/geometry.cpp.o.d"
+  "CMakeFiles/mmw_antenna.dir/pattern.cpp.o"
+  "CMakeFiles/mmw_antenna.dir/pattern.cpp.o.d"
+  "CMakeFiles/mmw_antenna.dir/steering.cpp.o"
+  "CMakeFiles/mmw_antenna.dir/steering.cpp.o.d"
+  "libmmw_antenna.a"
+  "libmmw_antenna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmw_antenna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/link.cpp" "src/channel/CMakeFiles/mmw_channel.dir/link.cpp.o" "gcc" "src/channel/CMakeFiles/mmw_channel.dir/link.cpp.o.d"
+  "/root/repo/src/channel/models.cpp" "src/channel/CMakeFiles/mmw_channel.dir/models.cpp.o" "gcc" "src/channel/CMakeFiles/mmw_channel.dir/models.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "src/channel/CMakeFiles/mmw_channel.dir/pathloss.cpp.o" "gcc" "src/channel/CMakeFiles/mmw_channel.dir/pathloss.cpp.o.d"
+  "/root/repo/src/channel/temporal.cpp" "src/channel/CMakeFiles/mmw_channel.dir/temporal.cpp.o" "gcc" "src/channel/CMakeFiles/mmw_channel.dir/temporal.cpp.o.d"
+  "/root/repo/src/channel/wideband.cpp" "src/channel/CMakeFiles/mmw_channel.dir/wideband.cpp.o" "gcc" "src/channel/CMakeFiles/mmw_channel.dir/wideband.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/mmw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmw_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/randgen/CMakeFiles/mmw_randgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmw_channel.dir/link.cpp.o"
+  "CMakeFiles/mmw_channel.dir/link.cpp.o.d"
+  "CMakeFiles/mmw_channel.dir/models.cpp.o"
+  "CMakeFiles/mmw_channel.dir/models.cpp.o.d"
+  "CMakeFiles/mmw_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/mmw_channel.dir/pathloss.cpp.o.d"
+  "CMakeFiles/mmw_channel.dir/temporal.cpp.o"
+  "CMakeFiles/mmw_channel.dir/temporal.cpp.o.d"
+  "CMakeFiles/mmw_channel.dir/wideband.cpp.o"
+  "CMakeFiles/mmw_channel.dir/wideband.cpp.o.d"
+  "libmmw_channel.a"
+  "libmmw_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmw_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

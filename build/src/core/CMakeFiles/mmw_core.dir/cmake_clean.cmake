@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmw_core.dir/oracle.cpp.o"
+  "CMakeFiles/mmw_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/mmw_core.dir/standard_sweep.cpp.o"
+  "CMakeFiles/mmw_core.dir/standard_sweep.cpp.o.d"
+  "CMakeFiles/mmw_core.dir/strategy.cpp.o"
+  "CMakeFiles/mmw_core.dir/strategy.cpp.o.d"
+  "libmmw_core.a"
+  "libmmw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/compressed_sensing.cpp" "src/estimation/CMakeFiles/mmw_estimation.dir/compressed_sensing.cpp.o" "gcc" "src/estimation/CMakeFiles/mmw_estimation.dir/compressed_sensing.cpp.o.d"
+  "/root/repo/src/estimation/covariance_ml.cpp" "src/estimation/CMakeFiles/mmw_estimation.dir/covariance_ml.cpp.o" "gcc" "src/estimation/CMakeFiles/mmw_estimation.dir/covariance_ml.cpp.o.d"
+  "/root/repo/src/estimation/fisher.cpp" "src/estimation/CMakeFiles/mmw_estimation.dir/fisher.cpp.o" "gcc" "src/estimation/CMakeFiles/mmw_estimation.dir/fisher.cpp.o.d"
+  "/root/repo/src/estimation/matrix_completion.cpp" "src/estimation/CMakeFiles/mmw_estimation.dir/matrix_completion.cpp.o" "gcc" "src/estimation/CMakeFiles/mmw_estimation.dir/matrix_completion.cpp.o.d"
+  "/root/repo/src/estimation/measurement_model.cpp" "src/estimation/CMakeFiles/mmw_estimation.dir/measurement_model.cpp.o" "gcc" "src/estimation/CMakeFiles/mmw_estimation.dir/measurement_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/mmw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmw_antenna.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmw_estimation.dir/compressed_sensing.cpp.o"
+  "CMakeFiles/mmw_estimation.dir/compressed_sensing.cpp.o.d"
+  "CMakeFiles/mmw_estimation.dir/covariance_ml.cpp.o"
+  "CMakeFiles/mmw_estimation.dir/covariance_ml.cpp.o.d"
+  "CMakeFiles/mmw_estimation.dir/fisher.cpp.o"
+  "CMakeFiles/mmw_estimation.dir/fisher.cpp.o.d"
+  "CMakeFiles/mmw_estimation.dir/matrix_completion.cpp.o"
+  "CMakeFiles/mmw_estimation.dir/matrix_completion.cpp.o.d"
+  "CMakeFiles/mmw_estimation.dir/measurement_model.cpp.o"
+  "CMakeFiles/mmw_estimation.dir/measurement_model.cpp.o.d"
+  "libmmw_estimation.a"
+  "libmmw_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmw_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/decompositions.cpp" "src/linalg/CMakeFiles/mmw_linalg.dir/decompositions.cpp.o" "gcc" "src/linalg/CMakeFiles/mmw_linalg.dir/decompositions.cpp.o.d"
+  "/root/repo/src/linalg/eig.cpp" "src/linalg/CMakeFiles/mmw_linalg.dir/eig.cpp.o" "gcc" "src/linalg/CMakeFiles/mmw_linalg.dir/eig.cpp.o.d"
+  "/root/repo/src/linalg/eig_tridiagonal.cpp" "src/linalg/CMakeFiles/mmw_linalg.dir/eig_tridiagonal.cpp.o" "gcc" "src/linalg/CMakeFiles/mmw_linalg.dir/eig_tridiagonal.cpp.o.d"
+  "/root/repo/src/linalg/functions.cpp" "src/linalg/CMakeFiles/mmw_linalg.dir/functions.cpp.o" "gcc" "src/linalg/CMakeFiles/mmw_linalg.dir/functions.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/mmw_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/mmw_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/vector.cpp" "src/linalg/CMakeFiles/mmw_linalg.dir/vector.cpp.o" "gcc" "src/linalg/CMakeFiles/mmw_linalg.dir/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

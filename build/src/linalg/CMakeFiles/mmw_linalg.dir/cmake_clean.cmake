@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmw_linalg.dir/decompositions.cpp.o"
+  "CMakeFiles/mmw_linalg.dir/decompositions.cpp.o.d"
+  "CMakeFiles/mmw_linalg.dir/eig.cpp.o"
+  "CMakeFiles/mmw_linalg.dir/eig.cpp.o.d"
+  "CMakeFiles/mmw_linalg.dir/eig_tridiagonal.cpp.o"
+  "CMakeFiles/mmw_linalg.dir/eig_tridiagonal.cpp.o.d"
+  "CMakeFiles/mmw_linalg.dir/functions.cpp.o"
+  "CMakeFiles/mmw_linalg.dir/functions.cpp.o.d"
+  "CMakeFiles/mmw_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mmw_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/mmw_linalg.dir/vector.cpp.o"
+  "CMakeFiles/mmw_linalg.dir/vector.cpp.o.d"
+  "libmmw_linalg.a"
+  "libmmw_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmw_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

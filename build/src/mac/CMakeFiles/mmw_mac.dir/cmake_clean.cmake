@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmw_mac.dir/session.cpp.o"
+  "CMakeFiles/mmw_mac.dir/session.cpp.o.d"
+  "CMakeFiles/mmw_mac.dir/timing.cpp.o"
+  "CMakeFiles/mmw_mac.dir/timing.cpp.o.d"
+  "libmmw_mac.a"
+  "libmmw_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmw_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/capacity.cpp" "src/phy/CMakeFiles/mmw_phy.dir/capacity.cpp.o" "gcc" "src/phy/CMakeFiles/mmw_phy.dir/capacity.cpp.o.d"
+  "/root/repo/src/phy/hybrid.cpp" "src/phy/CMakeFiles/mmw_phy.dir/hybrid.cpp.o" "gcc" "src/phy/CMakeFiles/mmw_phy.dir/hybrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/mmw_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmw_phy.dir/capacity.cpp.o"
+  "CMakeFiles/mmw_phy.dir/capacity.cpp.o.d"
+  "CMakeFiles/mmw_phy.dir/hybrid.cpp.o"
+  "CMakeFiles/mmw_phy.dir/hybrid.cpp.o.d"
+  "libmmw_phy.a"
+  "libmmw_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmw_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

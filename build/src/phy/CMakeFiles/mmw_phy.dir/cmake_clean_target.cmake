@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmw_phy.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmw_randgen.dir/rng.cpp.o"
+  "CMakeFiles/mmw_randgen.dir/rng.cpp.o.d"
+  "libmmw_randgen.a"
+  "libmmw_randgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmw_randgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmw_sim.dir/evaluation.cpp.o"
+  "CMakeFiles/mmw_sim.dir/evaluation.cpp.o.d"
+  "CMakeFiles/mmw_sim.dir/experiments.cpp.o"
+  "CMakeFiles/mmw_sim.dir/experiments.cpp.o.d"
+  "CMakeFiles/mmw_sim.dir/scenario.cpp.o"
+  "CMakeFiles/mmw_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/mmw_sim.dir/stats.cpp.o"
+  "CMakeFiles/mmw_sim.dir/stats.cpp.o.d"
+  "libmmw_sim.a"
+  "libmmw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antenna_test.dir/antenna/codebook_test.cpp.o"
+  "CMakeFiles/antenna_test.dir/antenna/codebook_test.cpp.o.d"
+  "CMakeFiles/antenna_test.dir/antenna/geometry_test.cpp.o"
+  "CMakeFiles/antenna_test.dir/antenna/geometry_test.cpp.o.d"
+  "CMakeFiles/antenna_test.dir/antenna/pattern_test.cpp.o"
+  "CMakeFiles/antenna_test.dir/antenna/pattern_test.cpp.o.d"
+  "CMakeFiles/antenna_test.dir/antenna/steering_test.cpp.o"
+  "CMakeFiles/antenna_test.dir/antenna/steering_test.cpp.o.d"
+  "antenna_test"
+  "antenna_test.pdb"
+  "antenna_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antenna_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/oracle_test.cpp" "tests/CMakeFiles/core_test.dir/core/oracle_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/oracle_test.cpp.o.d"
+  "/root/repo/tests/core/standard_sweep_test.cpp" "tests/CMakeFiles/core_test.dir/core/standard_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/standard_sweep_test.cpp.o.d"
+  "/root/repo/tests/core/strategy_test.cpp" "tests/CMakeFiles/core_test.dir/core/strategy_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/strategy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/mmw_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/mmw_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmw_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmw_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/randgen/CMakeFiles/mmw_randgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mmw_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

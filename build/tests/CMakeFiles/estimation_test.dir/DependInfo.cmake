@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/estimation/compressed_sensing_test.cpp" "tests/CMakeFiles/estimation_test.dir/estimation/compressed_sensing_test.cpp.o" "gcc" "tests/CMakeFiles/estimation_test.dir/estimation/compressed_sensing_test.cpp.o.d"
+  "/root/repo/tests/estimation/covariance_ml_test.cpp" "tests/CMakeFiles/estimation_test.dir/estimation/covariance_ml_test.cpp.o" "gcc" "tests/CMakeFiles/estimation_test.dir/estimation/covariance_ml_test.cpp.o.d"
+  "/root/repo/tests/estimation/fisher_test.cpp" "tests/CMakeFiles/estimation_test.dir/estimation/fisher_test.cpp.o" "gcc" "tests/CMakeFiles/estimation_test.dir/estimation/fisher_test.cpp.o.d"
+  "/root/repo/tests/estimation/matrix_completion_test.cpp" "tests/CMakeFiles/estimation_test.dir/estimation/matrix_completion_test.cpp.o" "gcc" "tests/CMakeFiles/estimation_test.dir/estimation/matrix_completion_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/estimation/CMakeFiles/mmw_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmw_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/randgen/CMakeFiles/mmw_randgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmw_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mmw_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_test.dir/estimation/compressed_sensing_test.cpp.o"
+  "CMakeFiles/estimation_test.dir/estimation/compressed_sensing_test.cpp.o.d"
+  "CMakeFiles/estimation_test.dir/estimation/covariance_ml_test.cpp.o"
+  "CMakeFiles/estimation_test.dir/estimation/covariance_ml_test.cpp.o.d"
+  "CMakeFiles/estimation_test.dir/estimation/fisher_test.cpp.o"
+  "CMakeFiles/estimation_test.dir/estimation/fisher_test.cpp.o.d"
+  "CMakeFiles/estimation_test.dir/estimation/matrix_completion_test.cpp.o"
+  "CMakeFiles/estimation_test.dir/estimation/matrix_completion_test.cpp.o.d"
+  "estimation_test"
+  "estimation_test.pdb"
+  "estimation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/capacity_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/capacity_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/capacity_test.cpp.o.d"
+  "/root/repo/tests/phy/hybrid_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/hybrid_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/mmw_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmw_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmw_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/randgen/CMakeFiles/mmw_randgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mmw_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

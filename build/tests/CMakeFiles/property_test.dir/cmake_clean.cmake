@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_test.dir/property/channel_property_test.cpp.o"
+  "CMakeFiles/property_test.dir/property/channel_property_test.cpp.o.d"
+  "CMakeFiles/property_test.dir/property/estimation_property_test.cpp.o"
+  "CMakeFiles/property_test.dir/property/estimation_property_test.cpp.o.d"
+  "CMakeFiles/property_test.dir/property/linalg_property_test.cpp.o"
+  "CMakeFiles/property_test.dir/property/linalg_property_test.cpp.o.d"
+  "CMakeFiles/property_test.dir/property/strategy_property_test.cpp.o"
+  "CMakeFiles/property_test.dir/property/strategy_property_test.cpp.o.d"
+  "property_test"
+  "property_test.pdb"
+  "property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randgen_test.dir/randgen/rng_test.cpp.o"
+  "CMakeFiles/randgen_test.dir/randgen/rng_test.cpp.o.d"
+  "randgen_test"
+  "randgen_test.pdb"
+  "randgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
