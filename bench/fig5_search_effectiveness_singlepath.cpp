@@ -8,13 +8,15 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmw;
   using namespace mmw::sim;
 
-  bench::print_header("Figure 5", "search effectiveness, single-path channel");
+  Scenario sc = bench::paper_scenario(ChannelKind::kSinglePath);
+  sc.threads = bench::threads_from_cli(argc, argv);
+  bench::print_header("Figure 5", "search effectiveness, single-path channel",
+                      sc.threads);
 
-  const Scenario sc = bench::paper_scenario(ChannelKind::kSinglePath);
   core::RandomSearch random_search;
   core::ScanSearch scan_search;
   core::ProposedAlignment proposed;

@@ -8,14 +8,16 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmw;
   using namespace mmw::sim;
 
+  Scenario sc = bench::paper_scenario(ChannelKind::kNycMultipath);
+  sc.threads = bench::threads_from_cli(argc, argv);
   bench::print_header("Figure 6",
-                      "search effectiveness, NYC multipath channel");
+                      "search effectiveness, NYC multipath channel",
+                      sc.threads);
 
-  const Scenario sc = bench::paper_scenario(ChannelKind::kNycMultipath);
   core::RandomSearch random_search;
   core::ScanSearch scan_search;
   core::ProposedAlignment proposed;

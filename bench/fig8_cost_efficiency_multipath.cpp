@@ -7,13 +7,15 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmw;
   using namespace mmw::sim;
 
-  bench::print_header("Figure 8", "cost efficiency, NYC multipath channel");
+  Scenario sc = bench::paper_scenario(ChannelKind::kNycMultipath);
+  sc.threads = bench::threads_from_cli(argc, argv);
+  bench::print_header("Figure 8", "cost efficiency, NYC multipath channel",
+                      sc.threads);
 
-  const Scenario sc = bench::paper_scenario(ChannelKind::kNycMultipath);
   core::RandomSearch random_search;
   core::ScanSearch scan_search;
   core::ProposedAlignment proposed;

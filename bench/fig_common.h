@@ -3,13 +3,32 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <system_error>
 
+#include "core/thread_pool.h"
 #include "sim/experiments.h"
 
 namespace mmw::bench {
+
+/// Thread-count knob shared by every figure bench: `--threads N` (or
+/// `--threads=N`) on the command line, else the MMW_THREADS environment
+/// variable, else 0 = auto (all hardware threads). The results are
+/// bit-identical for any value — this only trades wall-clock for cores.
+inline index_t threads_from_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      return std::strtoull(argv[i] + 10, nullptr, 10);
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      return std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  if (const char* env = std::getenv("MMW_THREADS"))
+    return std::strtoull(env, nullptr, 10);
+  return 0;
+}
 
 /// The paper's setup: TX 4×4 λ/2 UPA (M = 16), RX 8×8 λ/2 UPA (N = 64),
 /// angular-grid codebooks over a ±60°×±30° sector, T = 1024 beam pairs.
@@ -33,11 +52,13 @@ inline std::vector<real> paper_target_losses() {
   return {6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.5};
 }
 
-inline void print_header(const char* figure, const char* description) {
+inline void print_header(const char* figure, const char* description,
+                         index_t threads = 0) {
   std::printf("=== %s: %s ===\n", figure, description);
   std::printf(
       "setup: TX 4x4 UPA (M=16), RX 8x8 UPA (N=64), T=1024 pairs, "
-      "gamma=0 dB, 8 fades/measurement\n\n");
+      "gamma=0 dB, 8 fades/measurement, %zu thread(s)\n\n",
+      core::resolve_thread_count(threads));
 }
 
 /// Writes a CSV artifact under bench_results/ (created on demand) so the

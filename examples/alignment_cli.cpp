@@ -5,6 +5,8 @@
 //   alignment_cli [--channel single|nyc] [--experiment loss|cost]
 //                 [--trials N] [--seed S] [--gamma-db G] [--fades K]
 //                 [--codebook angular|dft] [--slot-j J]
+//                 [--threads T]            (0 = all cores, 1 = serial;
+//                                           results identical either way)
 //                 [--rates r1,r2,...]      (loss experiment)
 //                 [--targets t1,t2,...]    (cost experiment)
 //                 [--csv]
@@ -97,6 +99,8 @@ int main(int argc, char** argv) {
         scenario.codebook = sim::CodebookKind::kDft;
       else
         usage_error("unknown codebook: " + v);
+    } else if (arg == "--threads") {
+      scenario.threads = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--slot-j") {
       proposed_opts.measurements_per_slot =
           std::strtoull(value().c_str(), nullptr, 10);

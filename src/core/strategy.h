@@ -1,5 +1,22 @@
 // Beam-alignment strategies: the paper's proposed learning-based scheme
 // (Algorithm 1) and the baselines it is evaluated against.
+//
+// Ownership: strategies own nothing but their options structs (plain
+// values). They borrow the mac::Session passed to run() only for the call's
+// duration and keep no reference to it afterwards.
+//
+// Thread-safety: run() is const and every strategy in this header keeps all
+// per-run state on the stack, so ONE strategy instance may drive MANY
+// sessions concurrently from different threads — the Monte-Carlo drivers in
+// sim/experiments.h rely on exactly this. All randomness comes from the
+// session's Rng, never from strategy members. The one exception is
+// ProposedAlignment::run_with_state(), whose `covariance` in/out parameter
+// is caller-owned mutable state: concurrent calls must pass distinct
+// matrices.
+//
+// Units: measured energies are linear matched-filter powers |z|²; SNR-loss
+// grading is in dB (core::PairGainOracle::loss_db); the session's gamma is
+// linear Es/N0.
 #pragma once
 
 #include <memory>

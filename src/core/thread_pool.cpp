@@ -1,0 +1,110 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace mmw::core {
+
+index_t resolve_thread_count(index_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<index_t>(hw) : index_t{1};
+}
+
+ThreadPool::ThreadPool(index_t thread_count) {
+  const index_t n = resolve_thread_count(thread_count);
+  workers_.reserve(n);
+  for (index_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  // std::jthread joins on destruction; workers drain the queue first.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MMW_REQUIRE(task != nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    MMW_REQUIRE_MSG(!stopping_, "submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      // submit() is fire-and-forget; parallel_for captures its own errors.
+    }
+  }
+}
+
+void ThreadPool::parallel_for(index_t begin, index_t end,
+                              const std::function<void(index_t)>& body) {
+  MMW_REQUIRE(begin <= end);
+  if (begin == end) return;
+
+  // Per-call shared state; heap-allocated so stray notify-side references
+  // stay valid even if the caller unwinds first (they cannot here — the
+  // caller blocks until pending hits 0 — but shared_ptr keeps the lambda
+  // copyable into N queue slots without lifetime reasoning).
+  struct Sync {
+    std::atomic<index_t> next;
+    std::mutex m;
+    std::condition_variable done;
+    index_t pending;
+    std::exception_ptr error;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->next.store(begin, std::memory_order_relaxed);
+
+  const index_t tasks = std::min<index_t>(thread_count(), end - begin);
+  sync->pending = tasks;
+
+  auto drain = [sync, end, &body] {
+    // Claim indices until the range is exhausted or an error was recorded.
+    for (;;) {
+      const index_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(sync->m);
+        if (!sync->error) sync->error = std::current_exception();
+        sync->next.store(end, std::memory_order_relaxed);  // cancel the rest
+      }
+    }
+    std::lock_guard lock(sync->m);
+    if (--sync->pending == 0) sync->done.notify_all();
+  };
+
+  // The calling thread is a worker too: queue tasks-1 helpers, run one
+  // drain inline. With a single-thread pool this degenerates to a plain
+  // serial loop on the caller (helpers find the range already exhausted).
+  for (index_t i = 1; i < tasks; ++i) submit(drain);
+  drain();
+
+  std::unique_lock lock(sync->m);
+  sync->done.wait(lock, [&] { return sync->pending == 0; });
+  if (sync->error) std::rethrow_exception(sync->error);
+}
+
+}  // namespace mmw::core

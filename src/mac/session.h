@@ -1,6 +1,20 @@
 // The MAC-layer measurement session: the interface an alignment strategy
 // uses to train beam pairs. It owns the measurement budget, the no-repeat
 // ledger, and the noisy matched-filter measurement chain (paper Sec. III-B).
+//
+// Ownership: a Session BORROWS the link, both codebooks, and the Rng (it
+// stores non-owning pointers); the caller must keep all four alive for the
+// session's lifetime. It OWNS its measurement records and ledger.
+//
+// Thread-safety: a Session is single-threaded by design — measure() mutates
+// the ledger and advances the borrowed Rng, so a session must be confined
+// to one thread at a time, and sessions sharing an Rng must not run
+// concurrently. The parallel Monte-Carlo drivers give every trial its own
+// Session + Rng stream; the borrowed Link and Codebooks are only read
+// through const methods and may be shared across threads freely.
+//
+// Units: gamma is LINEAR pre-beamforming Es/N0 (callers convert from dB);
+// recorded energies are linear |z|² averages, not dB.
 #pragma once
 
 #include <optional>

@@ -13,6 +13,19 @@ Rng Rng::fork() {
   return Rng(engine_());
 }
 
+Rng Rng::stream(std::uint64_t master_seed, std::uint64_t stream_index) {
+  // SplitMix64 (Steele, Lea & Flood 2014): advance the state by the golden
+  // gamma per stream index, then run the mixing finalizer. The finalizer is
+  // a bijection with strong avalanche, so nearby (seed, index) pairs yield
+  // unrelated engine seeds. Index is offset by 1 so stream 0 of seed s is
+  // not simply seeded with s itself.
+  std::uint64_t z = master_seed + (stream_index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return Rng(z);
+}
+
 real Rng::uniform(real lo, real hi) {
   MMW_REQUIRE(lo <= hi);
   return std::uniform_real_distribution<real>(lo, hi)(engine_);

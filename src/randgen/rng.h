@@ -17,9 +17,18 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
 
-  /// Derives an independent child stream; used to give each Monte-Carlo
-  /// trial its own stream so trials stay reproducible under reordering.
+  /// Derives an independent child stream by drawing from this engine; the
+  /// child is reproducible but the *parent* advances, so fork() chains are
+  /// inherently sequential. For parallel work use stream() instead.
   Rng fork();
+
+  /// Derives stream `stream_index` of `master_seed` without any shared
+  /// state: the seed is a SplitMix64 finalization of
+  /// master_seed + (stream_index+1)·golden-gamma, so any (seed, index)
+  /// pair maps to the same engine no matter which thread asks, in what
+  /// order, or how many streams exist. This is what gives the Monte-Carlo
+  /// drivers bit-exact results independent of thread count (DESIGN.md §7).
+  static Rng stream(std::uint64_t master_seed, std::uint64_t stream_index);
 
   /// Uniform real in [lo, hi).
   real uniform(real lo = 0.0, real hi = 1.0);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/thread_pool.h"
 #include "sim/evaluation.h"
 
 namespace mmw::sim {
@@ -14,6 +15,23 @@ index_t rate_to_budget(real rate, index_t total) {
   MMW_REQUIRE_MSG(rate > 0.0 && rate <= 1.0,
                   "search rate must be in (0, 1]");
   return std::max<index_t>(1, static_cast<index_t>(std::llround(rate * total)));
+}
+
+// Runs body(t) for every trial t, serially when the scenario asks for one
+// thread and across a pool otherwise. `body` must confine its side effects
+// to trial-t slots: results are reduced in trial-index order afterwards, so
+// the two paths are bit-identical — each trial draws from the shared-state-
+// free stream Rng::stream(seed, t), not from a sequentially forked root.
+template <typename Body>
+void for_each_trial(const Scenario& scenario, const Body& body) {
+  const index_t threads =
+      std::min(core::resolve_thread_count(scenario.threads), scenario.trials);
+  if (threads <= 1) {
+    for (index_t t = 0; t < scenario.trials; ++t) body(t);
+    return;
+  }
+  core::ThreadPool pool(threads);
+  pool.parallel_for(0, scenario.trials, [&](index_t t) { body(t); });
 }
 
 }  // namespace
@@ -30,29 +48,42 @@ EffectivenessResult run_search_effectiveness(
   const index_t total = scenario.total_pairs();
   const index_t max_budget = rate_to_budget(search_rates.back(), total);
 
-  // losses[strategy][rate][trial]
-  std::map<std::string, std::vector<std::vector<real>>> losses;
-  for (const auto* s : strategies)
-    losses[std::string(s->name())].assign(search_rates.size(), {});
+  // per_trial[t][strategy][rate] — each trial owns its slot, so trials can
+  // run on any thread in any order.
+  std::vector<std::vector<std::vector<real>>> per_trial(scenario.trials);
 
-  randgen::Rng root(scenario.seed);
-  for (index_t t = 0; t < scenario.trials; ++t) {
-    randgen::Rng trial_rng = root.fork();
+  for_each_trial(scenario, [&](index_t t) {
+    randgen::Rng trial_rng = randgen::Rng::stream(scenario.seed, t);
     const TrialContext ctx = make_trial(scenario, trial_rng);
+    auto& mine = per_trial[t];
+    mine.reserve(strategies.size());
     for (const auto* strategy : strategies) {
       randgen::Rng run_rng = trial_rng.fork();
       mac::Session session(ctx.link, ctx.tx_codebook, ctx.rx_codebook,
                            scenario.gamma, max_budget, run_rng,
                            scenario.fades_per_measurement);
       strategy->run(session);
-      auto& per_rate = losses[std::string(strategy->name())];
+      std::vector<real> losses;
+      losses.reserve(search_rates.size());
       for (index_t k = 0; k < search_rates.size(); ++k) {
         const index_t budget = std::min<index_t>(
             rate_to_budget(search_rates[k], total),
             session.records().size());
-        per_rate[k].push_back(
-            loss_after(ctx.oracle, session.records(), budget));
+        losses.push_back(loss_after(ctx.oracle, session.records(), budget));
       }
+      mine.push_back(std::move(losses));
+    }
+  });
+
+  // Reduce in trial-index order: parallel output == serial output.
+  std::map<std::string, std::vector<std::vector<real>>> losses;
+  for (const auto* s : strategies)
+    losses[std::string(s->name())].assign(search_rates.size(), {});
+  for (index_t t = 0; t < scenario.trials; ++t) {
+    for (index_t si = 0; si < strategies.size(); ++si) {
+      auto& per_rate = losses[std::string(strategies[si]->name())];
+      for (index_t k = 0; k < search_rates.size(); ++k)
+        per_rate[k].push_back(per_trial[t][si][k]);
     }
   }
 
@@ -76,28 +107,42 @@ CostEfficiencyResult run_cost_efficiency(
   MMW_REQUIRE(scenario.trials >= 1);
 
   const index_t total = scenario.total_pairs();
-  std::map<std::string, std::vector<std::vector<real>>> rates;
-  for (const auto* s : strategies)
-    rates[std::string(s->name())].assign(target_loss_db.size(), {});
 
-  randgen::Rng root(scenario.seed);
-  for (index_t t = 0; t < scenario.trials; ++t) {
-    randgen::Rng trial_rng = root.fork();
+  // per_trial[t][strategy][target] — see run_search_effectiveness.
+  std::vector<std::vector<std::vector<real>>> per_trial(scenario.trials);
+
+  for_each_trial(scenario, [&](index_t t) {
+    randgen::Rng trial_rng = randgen::Rng::stream(scenario.seed, t);
     const TrialContext ctx = make_trial(scenario, trial_rng);
+    auto& mine = per_trial[t];
+    mine.reserve(strategies.size());
     for (const auto* strategy : strategies) {
       randgen::Rng run_rng = trial_rng.fork();
       mac::Session session(ctx.link, ctx.tx_codebook, ctx.rx_codebook,
                            scenario.gamma, total, run_rng,
                            scenario.fades_per_measurement);
       strategy->run(session);
-      auto& per_target = rates[std::string(strategy->name())];
+      std::vector<real> needed_rates;
+      needed_rates.reserve(target_loss_db.size());
       for (index_t k = 0; k < target_loss_db.size(); ++k) {
         const auto needed = measurements_to_reach(
             ctx.oracle, session.records(), target_loss_db[k]);
-        per_target[k].push_back(
+        needed_rates.push_back(
             needed ? static_cast<real>(*needed) / static_cast<real>(total)
                    : 1.0);
       }
+      mine.push_back(std::move(needed_rates));
+    }
+  });
+
+  std::map<std::string, std::vector<std::vector<real>>> rates;
+  for (const auto* s : strategies)
+    rates[std::string(s->name())].assign(target_loss_db.size(), {});
+  for (index_t t = 0; t < scenario.trials; ++t) {
+    for (index_t si = 0; si < strategies.size(); ++si) {
+      auto& per_target = rates[std::string(strategies[si]->name())];
+      for (index_t k = 0; k < target_loss_db.size(); ++k)
+        per_target[k].push_back(per_trial[t][si][k]);
     }
   }
 

@@ -1,6 +1,13 @@
 // The paper's two experiment families, as reusable Monte-Carlo drivers:
 //  - search effectiveness: mean SNR loss vs search rate (Figs. 5 & 6);
 //  - cost efficiency: required search rate vs target loss (Figs. 7 & 8).
+//
+// Both drivers spread trials over a core::ThreadPool sized by
+// Scenario::threads (0 = all cores, 1 = serial fallback with no pool).
+// Determinism contract: trial t draws from randgen::Rng::stream(seed, t)
+// and per-trial results are reduced in trial-index order, so for a fixed
+// Scenario the results — down to render_csv bytes — are identical for any
+// thread count. tests/sim/parallel_determinism_test.cpp asserts this.
 #pragma once
 
 #include <map>
@@ -23,6 +30,8 @@ struct EffectivenessResult {
 /// Runs every strategy once per trial with the largest budget and grades
 /// each requested search rate on the trajectory prefix — all strategies
 /// here are budget-oblivious (greedy sequences), so prefix grading is exact.
+/// Trials run in parallel per Scenario::threads; strategies must be
+/// const-callable from multiple threads (see core::AlignmentStrategy).
 EffectivenessResult run_search_effectiveness(
     const Scenario& scenario,
     const std::vector<const core::AlignmentStrategy*>& strategies,

@@ -1,4 +1,11 @@
 // Experiment scenarios: the paper's simulation setup in one value type.
+//
+// Ownership / thread-safety: Scenario is a plain value type (cheap to copy,
+// no hidden references); the experiment drivers take it by const& and never
+// mutate it, so one Scenario may be shared by any number of concurrent
+// experiment runs. TrialContext owns everything a trial touches (link,
+// codebooks, oracle) by value — trials built from independent Rng streams
+// share no state and are safe to run on different threads.
 #pragma once
 
 #include <memory>
@@ -46,15 +53,25 @@ struct Scenario {
   index_t tx_grid_x = 4, tx_grid_y = 4;
   index_t rx_grid_x = 8, rx_grid_y = 8;
 
-  /// Pre-beamforming SNR γ = Es/N0 (linear). 1.0 (0 dB) puts the aligned
-  /// pair ≈30 dB above noise while off paths stay near the floor.
+  /// Pre-beamforming SNR γ = Es/N0, **linear** (not dB: a CLI "--gamma-db G"
+  /// maps to gamma = 10^(G/10)). 1.0 (0 dB) puts the aligned pair ≈30 dB
+  /// above noise while off paths stay near the floor.
   real gamma = 1.0;
 
   /// Independent fades averaged per measurement slot (see mac::Session).
   index_t fades_per_measurement = 8;
 
+  /// Master seed. Trial t of an experiment driver uses the independent
+  /// stream randgen::Rng::stream(seed, t); results are bit-identical for a
+  /// given seed regardless of `threads`.
   std::uint64_t seed = 1;
   index_t trials = 20;
+
+  /// Worker threads the Monte-Carlo drivers spread trials over.
+  /// 0 = auto (std::thread::hardware_concurrency()); 1 = pure serial path
+  /// (no pool constructed). Any value yields identical results — this knob
+  /// only trades wall-clock for cores.
+  index_t threads = 0;
 
   index_t total_pairs() const {
     return tx_grid_x * tx_grid_y * rx_grid_x * rx_grid_y;
@@ -70,7 +87,9 @@ struct TrialContext {
   core::PairGainOracle oracle;
 };
 
-/// Draws the trial-specific link and builds codebooks/oracle.
+/// Draws the trial-specific link and builds codebooks/oracle. Reads only
+/// `scenario` (const) and draws only from `rng`; safe to call concurrently
+/// with distinct Rng objects.
 TrialContext make_trial(const Scenario& scenario, randgen::Rng& rng);
 
 }  // namespace mmw::sim

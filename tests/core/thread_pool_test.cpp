@@ -1,0 +1,90 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mmw::core {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_GE(resolve_thread_count(0), 1u);  // auto: at least one
+}
+
+TEST(ThreadPoolTest, ZeroTaskShutdown) {
+  // Construct and destroy without ever submitting work; must not hang.
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeReturnsImmediately) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(5, 5, [&](index_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, ParallelForCompletesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr index_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](index_t i) { hits[i].fetch_add(1); });
+  for (index_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsBegin) {
+  ThreadPool pool(2);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(7, 10, [&](index_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+  EXPECT_EQ(hits[7] + hits[8] + hits[9], 3);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::vector<int> out(64, 0);
+  pool.parallel_for(0, out.size(),
+                    [&](index_t i) { out[i] = static_cast<int>(i); });
+  for (index_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](index_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing parallel_for and accepts new work.
+  std::atomic<int> done{0};
+  pool.parallel_for(0, 8, [&](index_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, SequentialParallelForsReuseTheSamePool) {
+  ThreadPool pool(3);
+  std::atomic<index_t> total{0};
+  for (int round = 0; round < 10; ++round)
+    pool.parallel_for(0, 50, [&](index_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 500u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  std::atomic<bool> ran{false};
+  {
+    ThreadPool pool(2);
+    pool.submit([&] { ran.store(true); });
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace mmw::core
