@@ -48,8 +48,8 @@ int main() {
       opts.gamma = gamma;
       opts.mu = mu;
       const auto res = estimation::estimate_covariance_ml(16, ms, opts);
-      err += (res.q - q).frobenius_norm() / q.frobenius_norm();
-      rank += static_cast<real>(linalg::numerical_rank(res.q, 1e-6));
+      err += (res.q.dense() - q).frobenius_norm() / q.frobenius_norm();
+      rank += static_cast<real>(linalg::numerical_rank(res.q.dense(), 1e-6));
     }
     std::printf("%.3f\t%.4f\t%.1f\n", mu, err / trials, rank / trials);
   }

@@ -101,6 +101,182 @@ void BM_CovarianceMlEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_CovarianceMlEstimate)->Arg(5)->Arg(10)->Arg(20);
 
+// ---- Factored vs dense covariance plumbing ---------------------------------
+//
+// The alignment loop's per-slot hot path is: estimate Q̂ from the slot's J
+// energies, then score every RX codeword against Q̂ (probe selection for the
+// next slot plus the step-3 beam ranking). The dense variants below lift the
+// factored estimate to N×N and score with the O(|V|·N²) dense kernels — the
+// pre-factored behaviour; the factored variants keep {B, Q_r} and score via
+// Bᴴv projections in O(|V|·(N·r + r²)).
+
+antenna::ArrayGeometry geometry_for(index_t n) {
+  switch (n) {
+    case 16: return antenna::ArrayGeometry::upa(4, 4);
+    case 64: return antenna::ArrayGeometry::upa(8, 8);
+    default: return antenna::ArrayGeometry::upa(16, 8);  // 128
+  }
+}
+
+std::vector<estimation::BeamMeasurement> slot_energies(
+    randgen::Rng& rng, const antenna::Codebook& cb, index_t n, index_t j) {
+  const Vector x = rng.random_unit_vector(n);
+  const Matrix q = Matrix::outer(x, x) * cx{static_cast<real>(4 * n), 0.0};
+  const Matrix root = linalg::hermitian_sqrt(q);
+  std::vector<estimation::BeamMeasurement> ms;
+  for (index_t k = 0; k < j; ++k) {
+    estimation::BeamMeasurement m;
+    m.beam = cb.codeword((k * 7) % cb.size());
+    const Vector h = root * rng.complex_gaussian_vector(n);
+    m.energy = std::norm(linalg::dot(m.beam, h) + rng.complex_normal(0.01));
+    ms.push_back(std::move(m));
+  }
+  return ms;
+}
+
+void BM_FactoredScores(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t j = static_cast<index_t>(state.range(1));
+  randgen::Rng rng(7);
+  const auto cb = antenna::Codebook::dft(geometry_for(n));
+  const auto ms = slot_energies(rng, cb, n, j);
+  estimation::CovarianceMlOptions opts;
+  opts.gamma = 100.0;
+  const auto res = estimation::estimate_covariance_ml(n, ms, opts);
+  for (auto _ : state) benchmark::DoNotOptimize(cb.covariance_scores(res.q));
+}
+BENCHMARK(BM_FactoredScores)
+    ->ArgsProduct({{16, 64, 128}, {4, 8, 16}});
+
+void BM_DenseScores(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t j = static_cast<index_t>(state.range(1));
+  randgen::Rng rng(7);
+  const auto cb = antenna::Codebook::dft(geometry_for(n));
+  const auto ms = slot_energies(rng, cb, n, j);
+  estimation::CovarianceMlOptions opts;
+  opts.gamma = 100.0;
+  const Matrix q = estimation::estimate_covariance_ml(n, ms, opts).q.dense();
+  for (auto _ : state) benchmark::DoNotOptimize(cb.covariance_scores(q));
+}
+BENCHMARK(BM_DenseScores)
+    ->ArgsProduct({{16, 64, 128}, {4, 8, 16}});
+
+// Per-slot estimate+score cycle — the part of the slot this PR changed.
+// Both arms consume the SAME factored estimator output (the reduced-space
+// proximal solve is bit-identical shared machinery in either arm; it is
+// measured separately by BM_SlotCycleWithSolver* and BM_CovarianceMlEstimate).
+//
+// Dense baseline: the pre-factored behaviour — eagerly lift Q̂ to N×N
+// (`lift_from_beam_span`, O(r²N²)), then both per-slot codebook passes
+// (step-3 full ranking + next-slot probe selection) through the dense
+// O(|V|·N²) Hermitian-form kernel.
+void BM_SlotCycleDense(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t j = static_cast<index_t>(state.range(1));
+  randgen::Rng rng(8);
+  const auto cb = antenna::Codebook::dft(geometry_for(n));
+  const auto ms = slot_energies(rng, cb, n, j);
+  estimation::CovarianceMlOptions opts;
+  opts.gamma = 100.0;
+  const auto res = estimation::estimate_covariance_ml(n, ms, opts);
+  const bool full = res.q.is_full();  // r = N (e.g. 16/16): nothing to lift
+  for (auto _ : state) {
+    // Rebuild the factor pair so each iteration pays the lift, exactly as
+    // the old code did once per slot (the cache would otherwise hide it).
+    const linalg::FactoredHermitian f =
+        full ? res.q
+             : linalg::FactoredHermitian(res.q.basis(), res.q.core());
+    const Matrix& q = f.dense();
+    benchmark::DoNotOptimize(cb.top_k_for_covariance(q, cb.size()));
+    benchmark::DoNotOptimize(cb.top_k_for_covariance(q, j));
+  }
+}
+BENCHMARK(BM_SlotCycleDense)
+    ->ArgsProduct({{16, 64, 128}, {4, 8, 16}});
+
+// Factored path: no N×N matrix is ever formed; both passes score via Bᴴv
+// projections in O(|V|·(N·r + r²)).
+void BM_SlotCycleFactored(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t j = static_cast<index_t>(state.range(1));
+  randgen::Rng rng(8);
+  const auto cb = antenna::Codebook::dft(geometry_for(n));
+  const auto ms = slot_energies(rng, cb, n, j);
+  estimation::CovarianceMlOptions opts;
+  opts.gamma = 100.0;
+  const auto res = estimation::estimate_covariance_ml(n, ms, opts);
+  const bool full = res.q.is_full();
+  for (auto _ : state) {
+    const linalg::FactoredHermitian f =
+        full ? res.q
+             : linalg::FactoredHermitian(res.q.basis(), res.q.core());
+    benchmark::DoNotOptimize(cb.top_k_for_covariance(f, cb.size()));
+    benchmark::DoNotOptimize(cb.top_k_for_covariance(f, j));
+  }
+}
+BENCHMARK(BM_SlotCycleFactored)
+    ->ArgsProduct({{16, 64, 128}, {4, 8, 16}});
+
+// End-to-end slot including the shared reduced-space ML solve. The solve is
+// identical work in both arms, so the ratio here brackets the deployable
+// per-slot win from below (solver-bound at small N, scoring-bound at large N).
+void BM_SlotCycleWithSolverDense(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t j = static_cast<index_t>(state.range(1));
+  randgen::Rng rng(8);
+  const auto cb = antenna::Codebook::dft(geometry_for(n));
+  const auto ms = slot_energies(rng, cb, n, j);
+  estimation::CovarianceMlOptions opts;
+  opts.gamma = 100.0;
+  for (auto _ : state) {
+    const Matrix q = estimation::estimate_covariance_ml(n, ms, opts).q.dense();
+    benchmark::DoNotOptimize(cb.top_k_for_covariance(q, cb.size()));
+    benchmark::DoNotOptimize(cb.top_k_for_covariance(q, j));
+  }
+}
+BENCHMARK(BM_SlotCycleWithSolverDense)->Args({64, 8})->Args({128, 8});
+
+void BM_SlotCycleWithSolverFactored(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t j = static_cast<index_t>(state.range(1));
+  randgen::Rng rng(8);
+  const auto cb = antenna::Codebook::dft(geometry_for(n));
+  const auto ms = slot_energies(rng, cb, n, j);
+  estimation::CovarianceMlOptions opts;
+  opts.gamma = 100.0;
+  for (auto _ : state) {
+    const auto res = estimation::estimate_covariance_ml(n, ms, opts);
+    benchmark::DoNotOptimize(cb.top_k_for_covariance(res.q, cb.size()));
+    benchmark::DoNotOptimize(cb.top_k_for_covariance(res.q, j));
+  }
+}
+BENCHMARK(BM_SlotCycleWithSolverFactored)->Args({64, 8})->Args({128, 8});
+
+void BM_AddScaledOuter(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  randgen::Rng rng(9);
+  const Vector a = rng.complex_gaussian_vector(n);
+  Matrix m(n, n);
+  for (auto _ : state) {
+    m.add_scaled_outer(cx{1e-3, 0.0}, a, a);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_AddScaledOuter)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_OuterTemporaryAdd(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  randgen::Rng rng(9);
+  const Vector a = rng.complex_gaussian_vector(n);
+  Matrix m(n, n);
+  for (auto _ : state) {
+    m += cx{1e-3, 0.0} * Matrix::outer(a, a);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_OuterTemporaryAdd)->Arg(16)->Arg(64)->Arg(128);
+
 }  // namespace
 
 BENCHMARK_MAIN();

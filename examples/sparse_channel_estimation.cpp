@@ -95,7 +95,8 @@ int main(int argc, char** argv) {
     cov_opts.gamma = gamma;
     const auto cov =
         estimation::estimate_covariance_ml(64, energies, cov_opts);
-    const auto eig = linalg::hermitian_eig(cov.q);
+    // Eigenpairs come from the r×r factored core — no 64×64 lift needed.
+    const auto eig = cov.q.eig();
     std::printf("%zu\t%.2f\n", count,
                 std::abs(linalg::dot(eig.principal_eigenvector(),
                                      link.rx_steering(0))));

@@ -108,8 +108,37 @@ index_t Codebook::best_match(const linalg::Vector& v) const {
   return best;
 }
 
+namespace {
+
+/// First index of the maximal score — identical tie behavior to
+/// partial_sort with k = 1 (both keep the earliest maximum).
+index_t argmax_score(const std::vector<real>& score) {
+  return static_cast<index_t>(
+      std::max_element(score.begin(), score.end()) - score.begin());
+}
+
+/// Top-k indices by descending score. k = 1 skips sorting entirely; larger
+/// k partially sorts the index range — never a full sort of all |V| scores.
+std::vector<index_t> top_k_by_score(const std::vector<real>& score,
+                                    index_t k) {
+  if (k == 1) return {argmax_score(score)};
+  std::vector<index_t> order(score.size());
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](index_t a, index_t b) { return score[a] > score[b]; });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace
+
 index_t Codebook::best_for_covariance(const linalg::Matrix& q) const {
-  return top_k_for_covariance(q, 1).front();
+  return argmax_score(covariance_scores(q));
+}
+
+index_t Codebook::best_for_covariance(
+    const linalg::FactoredHermitian& q) const {
+  return argmax_score(covariance_scores(q));
 }
 
 std::vector<real> Codebook::covariance_scores(const linalg::Matrix& q) const {
@@ -120,16 +149,24 @@ std::vector<real> Codebook::covariance_scores(const linalg::Matrix& q) const {
   return score;
 }
 
+std::vector<real> Codebook::covariance_scores(
+    const linalg::FactoredHermitian& q) const {
+  MMW_REQUIRE(q.dim() == codewords_.front().size());
+  std::vector<real> score(size());
+  for (index_t i = 0; i < size(); ++i) score[i] = q.rayleigh(codewords_[i]);
+  return score;
+}
+
 std::vector<index_t> Codebook::top_k_for_covariance(const linalg::Matrix& q,
                                                     index_t k) const {
   MMW_REQUIRE(k >= 1 && k <= size());
-  const std::vector<real> score = covariance_scores(q);
-  std::vector<index_t> order(size());
-  std::iota(order.begin(), order.end(), index_t{0});
-  std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                    [&](index_t a, index_t b) { return score[a] > score[b]; });
-  order.resize(k);
-  return order;
+  return top_k_by_score(covariance_scores(q), k);
+}
+
+std::vector<index_t> Codebook::top_k_for_covariance(
+    const linalg::FactoredHermitian& q, index_t k) const {
+  MMW_REQUIRE(k >= 1 && k <= size());
+  return top_k_by_score(covariance_scores(q), k);
 }
 
 Codebook Codebook::with_quantized_phases(index_t bits) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "antenna/geometry.h"
+#include "linalg/factored.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 
@@ -48,16 +49,26 @@ class Codebook {
   index_t best_match(const linalg::Vector& v) const;
 
   /// Codeword index maximizing the Rayleigh quotient c_iᴴ Q c_i (paper
-  /// eq. 26 restricted to the codebook).
+  /// eq. 26 restricted to the codebook). k = 1 selection is a single
+  /// linear scan — no sort.
   index_t best_for_covariance(const linalg::Matrix& q) const;
+  index_t best_for_covariance(const linalg::FactoredHermitian& q) const;
 
   /// Indices of the k codewords with the largest cᴴ Q c, descending
-  /// (paper §IV-B2, step 3). Precondition: k ≤ size().
+  /// (paper §IV-B2, step 3): partial selection, O(|V| log k) after
+  /// scoring, never a full sort. Precondition: 1 ≤ k ≤ size().
   std::vector<index_t> top_k_for_covariance(const linalg::Matrix& q,
                                             index_t k) const;
+  std::vector<index_t> top_k_for_covariance(
+      const linalg::FactoredHermitian& q, index_t k) const;
 
-  /// Rayleigh quotients c_iᴴ Q c_i for every codeword.
+  /// Rayleigh quotients c_iᴴ Q c_i for every codeword. The factored
+  /// overload scores through precomputed projections Bᴴc_i — O(|V|·N·r +
+  /// |V|·r²) instead of the dense form's O(|V|·N²) — which is the per-slot
+  /// hot path of the alignment strategies.
   std::vector<real> covariance_scores(const linalg::Matrix& q) const;
+  std::vector<real> covariance_scores(
+      const linalg::FactoredHermitian& q) const;
 
   /// Boustrophedon (serpentine) visiting order of the grid: consecutive
   /// entries are always grid-adjacent. Scan baselines walk this order.

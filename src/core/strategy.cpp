@@ -9,6 +9,7 @@ namespace mmw::core {
 
 using antenna::Codebook;
 using estimation::BeamMeasurement;
+using linalg::FactoredHermitian;
 using linalg::Matrix;
 using mac::Session;
 
@@ -87,12 +88,20 @@ void ProposedAlignment::run_with_state(Session& session,
   estimation::CovarianceMlOptions est = options_.estimator;
   est.gamma = session.gamma();
 
-  const auto estimate = [&](std::span<const BeamMeasurement> ms) -> Matrix {
+  // Estimates stay in factored form end-to-end: the solvers return B Q_r Bᴴ
+  // and every downstream consumer (codebook scoring, probe ranking) goes
+  // through the factor, so the N×N lift happens only for the exported
+  // tracking state. The moment baselines are inherently dense and wrap via
+  // from_dense, which scores bit-identically to the plain dense path.
+  const auto estimate =
+      [&](std::span<const BeamMeasurement> ms) -> FactoredHermitian {
     switch (options_.estimator_kind) {
       case EstimatorKind::kSampleCovariance:
-        return estimation::sample_covariance_estimate(n, ms, est.gamma);
+        return FactoredHermitian::from_dense(
+            estimation::sample_covariance_estimate(n, ms, est.gamma));
       case EstimatorKind::kDiagonalLoading:
-        return estimation::diagonal_loading_estimate(n, ms, est.gamma);
+        return FactoredHermitian::from_dense(
+            estimation::diagonal_loading_estimate(n, ms, est.gamma));
       case EstimatorKind::kEmMl: {
         estimation::CovarianceEmOptions em;
         em.gamma = est.gamma;
@@ -121,8 +130,9 @@ void ProposedAlignment::run_with_state(Session& session,
   // of by (arbitrary) rank order among zero scores.
   const real beam_floor = options_.exploration_floor / session.gamma();
 
-  std::optional<Matrix> q_prev;
-  if (!covariance.empty()) q_prev = covariance;
+  std::optional<FactoredHermitian> q_prev;
+  if (!covariance.empty())
+    q_prev = FactoredHermitian::from_dense(covariance);
   // An externally supplied prior is stale by construction (it survived a
   // channel drift and was conditioned on a different TX beam), so it only
   // drives half of the first slot's probes; in-frame estimates, which are
@@ -191,7 +201,7 @@ void ProposedAlignment::run_with_state(Session& session,
       const real energy = session.measure(u_idx, v_idx);
       slot_measurements.push_back({rx_cb.codeword(v_idx), energy});
     }
-    Matrix q_hat = estimate(slot_measurements);
+    FactoredHermitian q_hat = estimate(slot_measurements);
 
     // --- Step 3: J-th measurement along the best unmeasured codeword under
     // Q̂ (eq. 26 restricted to the codebook). -----------------------------
@@ -210,9 +220,9 @@ void ProposedAlignment::run_with_state(Session& session,
       q_hat = estimate(slot_measurements);
     }
     if (state_accum.empty())
-      state_accum = q_hat;
+      state_accum = q_hat.dense();
     else
-      state_accum += q_hat;
+      state_accum += q_hat.dense();
     ++state_slots;
     covariance = state_accum / cx{static_cast<real>(state_slots), 0.0};
     q_prev = std::move(q_hat);
@@ -237,12 +247,15 @@ void PingPongAlignment::run(Session& session) const {
   est.gamma = session.gamma();
   const real beam_floor = options_.exploration_floor / session.gamma();
 
-  std::optional<Matrix> q_rx;  // N×N, learned in RX-phase slots
-  std::optional<Matrix> q_tx;  // M×M, learned in TX-phase slots
+  // Both running estimates live in factored form; scoring goes through the
+  // beam-span factor.
+  std::optional<FactoredHermitian> q_rx;  // dim N, learned in RX-phase slots
+  std::optional<FactoredHermitian> q_tx;  // dim M, learned in TX-phase slots
 
   // Picks the best-scoring index under an optional covariance among those
   // for which `usable` holds, falling back to a random usable index.
-  const auto pick = [&](const Codebook& cb, const std::optional<Matrix>& q,
+  const auto pick = [&](const Codebook& cb,
+                        const std::optional<FactoredHermitian>& q,
                         auto&& usable) -> std::optional<index_t> {
     if (q.has_value()) {
       const auto scores = cb.covariance_scores(*q);
@@ -263,7 +276,7 @@ void PingPongAlignment::run(Session& session) const {
   // Ranked probe list for one slot: top scores above the floor, then
   // random fill, all restricted to `usable`.
   const auto choose_probes = [&](const Codebook& cb,
-                                 const std::optional<Matrix>& q,
+                                 const std::optional<FactoredHermitian>& q,
                                  auto&& usable, index_t count) {
     std::vector<index_t> probes;
     std::vector<bool> picked(cb.size(), false);
@@ -314,9 +327,9 @@ void PingPongAlignment::run(Session& session) const {
         ms.push_back({rx_cb.codeword(v), session.measure(*u_idx, v)});
       }
       if (!ms.empty()) {
-        Matrix q = estimation::estimate_covariance_ml(
-                       rx_cb.codeword(0).size(), ms, est)
-                       .q;
+        FactoredHermitian q = estimation::estimate_covariance_ml(
+                                  rx_cb.codeword(0).size(), ms, est)
+                                  .q;
         if (!session.exhausted()) {
           for (const index_t v :
                rx_cb.top_k_for_covariance(q, rx_cb.size())) {
@@ -353,9 +366,9 @@ void PingPongAlignment::run(Session& session) const {
         ms.push_back({tx_cb.codeword(u), session.measure(u, *v_idx)});
       }
       if (!ms.empty()) {
-        Matrix q = estimation::estimate_covariance_ml(
-                       tx_cb.codeword(0).size(), ms, est)
-                       .q;
+        FactoredHermitian q = estimation::estimate_covariance_ml(
+                                  tx_cb.codeword(0).size(), ms, est)
+                                  .q;
         if (!session.exhausted()) {
           for (const index_t u :
                tx_cb.top_k_for_covariance(q, tx_cb.size())) {

@@ -8,6 +8,7 @@
 
 namespace mmw::estimation {
 
+using linalg::FactoredHermitian;
 using linalg::Matrix;
 using linalg::Vector;
 
@@ -21,7 +22,7 @@ Matrix gradient(const Matrix& q, std::span<const BeamMeasurement> ms,
   for (const BeamMeasurement& m : ms) {
     const real lambda = expected_energy(q, m.beam, gamma);
     const real coeff = (lambda - m.energy) / (lambda * lambda);
-    g += cx{coeff, 0.0} * Matrix::outer(m.beam, m.beam);
+    g.add_scaled_outer(cx{coeff, 0.0}, m.beam, m.beam);
   }
   return g;
 }
@@ -39,30 +40,46 @@ real inner_real(const Matrix& a, const Matrix& b) {
 
 namespace {
 
+/// Dense solver output before the factored wrap-up.
+struct SolveResult {
+  Matrix q;
+  real objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
 /// Core projected proximal-gradient loop on an n-dimensional problem.
-CovarianceMlResult solve_full(index_t n,
-                              std::span<const BeamMeasurement> measurements,
-                              const CovarianceMlOptions& opts) {
+/// After the beam-span reduction n is the span rank r ≤ J, so every matrix
+/// here — gradient, trial point, eigendecomposition inside the prox — is
+/// r×r. The eigendecomposition is NOT hoisted out of the backtracking loop:
+/// each trial point q − step·∇J has a different eigenbasis, so reusing one
+/// across step sizes would change the iterates (and the golden figure
+/// CSVs); one decomposition per trial point is the exact-arithmetic
+/// optimum. The smooth objective, however, IS cached: the accepted trial's
+/// likelihood is reused for both the convergence test and the next
+/// iteration's linearization point, saving two full likelihood passes per
+/// iteration at bit-identical results.
+SolveResult solve_full(index_t n,
+                       std::span<const BeamMeasurement> measurements,
+                       const CovarianceMlOptions& opts) {
   // Moment-based warm start keeps the likelihood well-conditioned from the
   // first iteration (Q = 0 would put all mass on the noise floor).
   Matrix q = sample_covariance_estimate(n, measurements, opts.gamma);
 
-  auto objective = [&](const Matrix& x) {
-    return negative_log_likelihood(x, measurements, opts.gamma) +
-           opts.mu * x.trace().real();  // ‖X‖₁ = tr(X) on the PSD cone
-  };
-
-  CovarianceMlResult result;
-  real f_prev = objective(q);
+  SolveResult result;
+  // Smooth part J(Q) at the current iterate; the penalized objective is
+  // nll_cur + μ·tr(Q) (‖Q‖₁ = tr(Q) on the PSD cone).
+  real nll_cur = negative_log_likelihood(q, measurements, opts.gamma);
+  real f_prev = nll_cur + opts.mu * q.trace().real();
   real step = opts.initial_step;
 
   for (int it = 0; it < opts.max_iterations; ++it) {
     const Matrix grad = gradient(q, measurements, opts.gamma);
-    const real f_smooth =
-        negative_log_likelihood(q, measurements, opts.gamma);
+    const real f_smooth = nll_cur;
 
     // Backtracking proximal gradient step.
     Matrix q_next = q;
+    real nll_next = nll_cur;
     bool accepted = false;
     for (int bt = 0; bt < opts.max_backtracks; ++bt) {
       const Matrix trial = linalg::eigenvalue_soft_threshold(
@@ -75,6 +92,7 @@ CovarianceMlResult solve_full(index_t n,
           negative_log_likelihood(trial, measurements, opts.gamma);
       if (f_trial <= quad + 1e-12 * std::abs(quad)) {
         q_next = trial;
+        nll_next = f_trial;
         accepted = true;
         break;
       }
@@ -89,7 +107,8 @@ CovarianceMlResult solve_full(index_t n,
     }
 
     q = q_next;
-    const real f_now = objective(q);
+    nll_cur = nll_next;
+    const real f_now = nll_cur + opts.mu * q.trace().real();
     result.iterations = it + 1;
     if (std::abs(f_prev - f_now) <=
         opts.tolerance * std::max(1.0, std::abs(f_prev))) {
@@ -116,6 +135,14 @@ CovarianceMlResult solve_full(index_t n,
 struct ReducedProblem {
   std::vector<Vector> basis;             ///< orthonormal basis of span{v_j}
   std::vector<BeamMeasurement> reduced;  ///< measurements with ṽ = Bᴴv
+
+  /// Basis packed as the N×r matrix FactoredHermitian stores (column k =
+  /// basis[k]).
+  Matrix basis_matrix(index_t n) const {
+    Matrix b(n, basis.size());
+    for (index_t k = 0; k < basis.size(); ++k) b.set_col(k, basis[k]);
+    return b;
+  }
 };
 
 ReducedProblem reduce_to_beam_span(
@@ -138,25 +165,6 @@ ReducedProblem reduce_to_beam_span(
   return out;
 }
 
-/// Lift a reduced solution back: Q = B Q_r Bᴴ.
-Matrix lift_from_beam_span(const Matrix& q_r,
-                           const std::vector<Vector>& basis, index_t n) {
-  const index_t r = basis.size();
-  Matrix q(n, n);
-  for (index_t a = 0; a < r; ++a) {
-    for (index_t b = 0; b < r; ++b) {
-      const cx qab = q_r(a, b);
-      if (qab == cx{0.0, 0.0}) continue;
-      for (index_t i = 0; i < n; ++i) {
-        const cx scaled = qab * basis[a][i];
-        for (index_t j = 0; j < n; ++j)
-          q(i, j) += scaled * std::conj(basis[b][j]);
-      }
-    }
-  }
-  return q;
-}
-
 void check_measurements(index_t n,
                         std::span<const BeamMeasurement> measurements) {
   MMW_REQUIRE_MSG(!measurements.empty(), "need at least one measurement");
@@ -174,14 +182,23 @@ CovarianceMlResult estimate_covariance_ml(
   MMW_REQUIRE(opts.gamma > 0.0);
   MMW_REQUIRE(opts.max_iterations > 0);
 
+  CovarianceMlResult result;
   const ReducedProblem rp = reduce_to_beam_span(measurements);
   if (rp.basis.size() == n) {
     // Beams already span the full space; no reduction possible.
-    return solve_full(n, measurements, opts);
+    SolveResult full = solve_full(n, measurements, opts);
+    result.q = FactoredHermitian::from_dense(std::move(full.q));
+    result.objective = full.objective;
+    result.iterations = full.iterations;
+    result.converged = full.converged;
+    return result;
   }
-  CovarianceMlResult res = solve_full(rp.basis.size(), rp.reduced, opts);
-  res.q = lift_from_beam_span(res.q, rp.basis, n);
-  return res;
+  SolveResult red = solve_full(rp.basis.size(), rp.reduced, opts);
+  result.q = FactoredHermitian(rp.basis_matrix(n), std::move(red.q));
+  result.objective = red.objective;
+  result.iterations = red.iterations;
+  result.converged = red.converged;
+  return result;
 }
 
 CovarianceMlResult estimate_covariance_em(
@@ -216,7 +233,7 @@ CovarianceMlResult estimate_covariance_em(
       const Vector qv = q * m.beam;
       const real coeff =
           (1.0 - m.energy / lambda) / (lambda * j_count);
-      s -= cx{coeff, 0.0} * Matrix::outer(qv, qv);
+      s.add_scaled_outer(cx{-coeff, 0.0}, qv, qv);
     }
     if (opts.mu == 0.0) {
       q = std::move(s);
@@ -235,7 +252,7 @@ CovarianceMlResult estimate_covariance_em(
       for (index_t k = 0; k < shrunk.size(); ++k) {
         if (shrunk[k] == 0.0) continue;
         const Vector uk = eig.eigenvectors.col(k);
-        rebuilt += cx{shrunk[k], 0.0} * Matrix::outer(uk, uk);
+        rebuilt.add_scaled_outer(cx{shrunk[k], 0.0}, uk, uk);
       }
       q = std::move(rebuilt);
     }
@@ -251,7 +268,9 @@ CovarianceMlResult estimate_covariance_em(
     nll_prev = nll;
   }
   result.objective = nll_prev + opts.mu * q.trace().real();
-  result.q = reduced ? lift_from_beam_span(q, rp.basis, n) : std::move(q);
+  result.q = reduced
+                 ? FactoredHermitian(rp.basis_matrix(n), std::move(q))
+                 : FactoredHermitian::from_dense(std::move(q));
   return result;
 }
 
@@ -265,7 +284,7 @@ Matrix sample_covariance_estimate(index_t n,
     MMW_REQUIRE(m.beam.size() == n);
     const real excess =
         std::max(m.energy - m.beam.squared_norm() / gamma, 0.0);
-    q += cx{excess, 0.0} * Matrix::outer(m.beam, m.beam);
+    q.add_scaled_outer(cx{excess, 0.0}, m.beam, m.beam);
   }
   const real scale =
       static_cast<real>(n) / static_cast<real>(ms.size());

@@ -14,6 +14,7 @@
 #include <span>
 
 #include "estimation/measurement_model.h"
+#include "linalg/factored.h"
 
 namespace mmw::estimation {
 
@@ -27,7 +28,11 @@ struct CovarianceMlOptions {
 };
 
 struct CovarianceMlResult {
-  linalg::Matrix q;        ///< estimate Q̂ (Hermitian PSD)
+  /// Estimate Q̂ (Hermitian PSD) in factored form Q̂ = B Q_r Bᴴ, where B is
+  /// an orthonormal basis of the measured beam span (r ≤ J ≪ N). Scoring,
+  /// eigenpairs and traces go through the factor; call `q.dense()` only
+  /// when a consumer genuinely needs the N×N lift.
+  linalg::FactoredHermitian q;
   real objective = 0.0;    ///< final J_μ(Q̂)
   int iterations = 0;
   bool converged = false;

@@ -10,9 +10,17 @@ real expected_energy(const linalg::Matrix& q, const linalg::Vector& v,
   return linalg::hermitian_form(v, q) + v.squared_norm() / gamma;
 }
 
-real negative_log_likelihood(const linalg::Matrix& q,
-                             std::span<const BeamMeasurement> measurements,
-                             real gamma) {
+real expected_energy(const linalg::FactoredHermitian& q,
+                     const linalg::Vector& v, real gamma) {
+  MMW_REQUIRE(gamma > 0.0);
+  return q.rayleigh(v) + v.squared_norm() / gamma;
+}
+
+namespace {
+
+template <typename Cov>
+real nll_impl(const Cov& q, std::span<const BeamMeasurement> measurements,
+              real gamma) {
   real acc = 0.0;
   for (const BeamMeasurement& m : measurements) {
     const real lambda = expected_energy(q, m.beam, gamma);
@@ -20,6 +28,20 @@ real negative_log_likelihood(const linalg::Matrix& q,
     acc += std::log(lambda) + m.energy / lambda;
   }
   return acc;
+}
+
+}  // namespace
+
+real negative_log_likelihood(const linalg::Matrix& q,
+                             std::span<const BeamMeasurement> measurements,
+                             real gamma) {
+  return nll_impl(q, measurements, gamma);
+}
+
+real negative_log_likelihood(const linalg::FactoredHermitian& q,
+                             std::span<const BeamMeasurement> measurements,
+                             real gamma) {
+  return nll_impl(q, measurements, gamma);
 }
 
 }  // namespace mmw::estimation

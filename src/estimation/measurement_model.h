@@ -9,6 +9,7 @@
 
 #include <span>
 
+#include "linalg/factored.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 
@@ -25,9 +26,19 @@ struct BeamMeasurement {
 real expected_energy(const linalg::Matrix& q, const linalg::Vector& v,
                      real gamma);
 
+/// Factored form: the Rayleigh quotient goes through the beam-span factor,
+/// O(N·r + r²) instead of O(N²).
+real expected_energy(const linalg::FactoredHermitian& q,
+                     const linalg::Vector& v, real gamma);
+
 /// Negative log-likelihood of the measurement set under covariance Q:
 ///   J(Q) = Σ_j [ log λ_j(Q) + |z_j|² / λ_j(Q) ]          (paper eq. 18).
 real negative_log_likelihood(const linalg::Matrix& q,
+                             std::span<const BeamMeasurement> measurements,
+                             real gamma);
+
+/// Factored overload — same value, evaluated through the factor.
+real negative_log_likelihood(const linalg::FactoredHermitian& q,
                              std::span<const BeamMeasurement> measurements,
                              real gamma);
 

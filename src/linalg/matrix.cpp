@@ -148,6 +148,18 @@ Matrix Matrix::outer(const Vector& a, const Vector& b) {
   return out;
 }
 
+Matrix& Matrix::add_scaled_outer(cx alpha, const Vector& a, const Vector& b) {
+  MMW_REQUIRE_MSG(a.size() == rows_ && b.size() == cols_,
+                  "rank-one update shape mismatch");
+  cx* out = data_.data();
+  for (index_t i = 0; i < rows_; ++i) {
+    const cx ai = a[i];
+    for (index_t j = 0; j < cols_; ++j)
+      out[i * cols_ + j] += (ai * std::conj(b[j])) * alpha;
+  }
+  return *this;
+}
+
 Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
 Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
 Matrix operator*(Matrix m, cx scalar) { return m *= scalar; }
@@ -161,12 +173,21 @@ Matrix operator-(Matrix m) {
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
   MMW_REQUIRE_MSG(a.cols() == b.rows(), "matrix product shape mismatch");
+  // ikj order: the inner loop streams contiguous rows of B and OUT, which
+  // the compiler can keep in registers / vectorize; raw pointers sidestep
+  // the per-access index arithmetic of operator(). Accumulation order is
+  // identical to the classical triple loop, so results are bit-stable.
   Matrix out(a.rows(), b.cols());
+  const index_t n = b.cols();
+  const cx* bp = b.data().data();
+  cx* op = out.data().data();
   for (index_t i = 0; i < a.rows(); ++i) {
+    cx* out_row = op + i * n;
     for (index_t k = 0; k < a.cols(); ++k) {
       const cx aik = a(i, k);
       if (aik == cx{0.0, 0.0}) continue;
-      for (index_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+      const cx* b_row = bp + k * n;
+      for (index_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
     }
   }
   return out;
@@ -175,9 +196,12 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
 Vector operator*(const Matrix& a, const Vector& v) {
   MMW_REQUIRE_MSG(a.cols() == v.size(), "matrix-vector shape mismatch");
   Vector out(a.rows());
+  const cx* ap = a.data().data();
+  const cx* vp = v.data().data();
   for (index_t i = 0; i < a.rows(); ++i) {
+    const cx* a_row = ap + i * a.cols();
     cx acc{0.0, 0.0};
-    for (index_t j = 0; j < a.cols(); ++j) acc += a(i, j) * v[j];
+    for (index_t j = 0; j < a.cols(); ++j) acc += a_row[j] * vp[j];
     out[i] = acc;
   }
   return out;

@@ -90,6 +90,14 @@ class Matrix {
   /// Rank-one outer product a bᴴ.
   static Matrix outer(const Vector& a, const Vector& b);
 
+  /// In-place scaled rank-one update  A += (a bᴴ)·α  without materializing
+  /// the outer product — the allocation-free form of
+  /// `A += alpha * Matrix::outer(a, b)`, with bit-identical arithmetic
+  /// (each entry accumulates (a_i·conj(b_j))·α exactly as the temporary
+  /// route would). Pass α = −c for a subtraction.
+  /// Preconditions: a.size() == rows(), b.size() == cols().
+  Matrix& add_scaled_outer(cx alpha, const Vector& a, const Vector& b);
+
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;

@@ -103,8 +103,8 @@ TEST(CovarianceMlTest, EstimateIsHermitianPsd) {
   CovarianceMlOptions opts;
   opts.gamma = 100.0;
   const auto res = estimate_covariance_ml(8, ms, opts);
-  EXPECT_TRUE(res.q.is_hermitian(1e-8));
-  const auto eig = linalg::hermitian_eig(res.q);
+  EXPECT_TRUE(res.q.dense().is_hermitian(1e-8));
+  const auto eig = res.q.eig();
   for (const real e : eig.eigenvalues) EXPECT_GE(e, -1e-8);
 }
 
@@ -118,7 +118,7 @@ TEST(CovarianceMlTest, RecoversDominantEigenvectorRankOne) {
   opts.gamma = 100.0;
   opts.mu = 0.5;
   const auto res = estimate_covariance_ml(n, ms, opts);
-  const auto eig = linalg::hermitian_eig(res.q);
+  const auto eig = res.q.eig();
   // Dominant eigenvector aligned with the planted direction.
   EXPECT_GT(std::abs(linalg::dot(eig.principal_eigenvector(), x)), 0.85);
 }
@@ -140,7 +140,7 @@ TEST(CovarianceMlTest, OperationalGainAtLargeDimension) {
     opts.gamma = 100.0;
     opts.mu = 0.5;
     const auto res = estimate_covariance_ml(n, ms, opts);
-    const auto eig = linalg::hermitian_eig(res.q);
+    const auto eig = res.q.eig();
     est_gain += linalg::hermitian_form(eig.principal_eigenvector(), q);
     rand_gain += linalg::hermitian_form(rng.random_unit_vector(n), q);
   }
@@ -164,9 +164,9 @@ TEST(CovarianceMlTest, EstimateLiesInBeamSpan) {
     if (v.norm() > 1e-9) basis.push_back(v.normalized());
   }
   for (index_t c = 0; c < n; ++c) {
-    Vector col = res.q.col(c);
+    Vector col = res.q.dense().col(c);
     for (const Vector& b : basis) col -= linalg::dot(b, col) * b;
-    EXPECT_NEAR(col.norm(), 0.0, 1e-8 * (1.0 + res.q.frobenius_norm()));
+    EXPECT_NEAR(col.norm(), 0.0, 1e-8 * (1.0 + res.q.dense().frobenius_norm()));
   }
 }
 
@@ -184,7 +184,7 @@ TEST(CovarianceMlTest, BeatsSampleCovarianceInUndersampledRegime) {
     opts.gamma = 100.0;
     opts.mu = 0.5;
     const auto res = estimate_covariance_ml(n, ms, opts);
-    err_ml += (res.q - q).frobenius_norm() / q.frobenius_norm();
+    err_ml += (res.q.dense() - q).frobenius_norm() / q.frobenius_norm();
     const Matrix qs = sample_covariance_estimate(n, ms, 100.0);
     err_sample += (qs - q).frobenius_norm() / q.frobenius_norm();
   }
@@ -203,8 +203,8 @@ TEST(CovarianceMlTest, StrongRegularizationShrinksRank) {
   strong.mu = 5.0;
   const auto res_weak = estimate_covariance_ml(n, ms, weak);
   const auto res_strong = estimate_covariance_ml(n, ms, strong);
-  EXPECT_LE(linalg::numerical_rank(res_strong.q, 1e-6),
-            linalg::numerical_rank(res_weak.q, 1e-6));
+  EXPECT_LE(linalg::numerical_rank(res_strong.q.dense(), 1e-6),
+            linalg::numerical_rank(res_weak.q.dense(), 1e-6));
 }
 
 TEST(CovarianceMlTest, ObjectiveDecreasesFromWarmStart) {
@@ -293,8 +293,8 @@ TEST(CovarianceEmTest, EstimateIsHermitianPsd) {
   CovarianceEmOptions opts;
   opts.gamma = 100.0;
   const auto res = estimate_covariance_em(n, ms, opts);
-  EXPECT_TRUE(res.q.is_hermitian(1e-8 * (1.0 + res.q.max_abs())));
-  const auto eig = linalg::hermitian_eig(res.q);
+  EXPECT_TRUE(res.q.dense().is_hermitian(1e-8 * (1.0 + res.q.dense().max_abs())));
+  const auto eig = res.q.eig();
   for (const real e : eig.eigenvalues)
     EXPECT_GE(e, -1e-8 * (1.0 + std::abs(eig.eigenvalues[0])));
 }
@@ -309,9 +309,9 @@ TEST(CovarianceEmTest, TraceShrinkageReducesTrace) {
   CovarianceEmOptions shrunk = plain;
   shrunk.mu = 5.0;
   const real tr_plain =
-      estimate_covariance_em(n, ms, plain).q.trace().real();
+      estimate_covariance_em(n, ms, plain).q.trace();
   const real tr_shrunk =
-      estimate_covariance_em(n, ms, shrunk).q.trace().real();
+      estimate_covariance_em(n, ms, shrunk).q.trace();
   EXPECT_LT(tr_shrunk, tr_plain);
 }
 
@@ -324,7 +324,7 @@ TEST(CovarianceEmTest, RecoversPlantedDirection) {
   CovarianceEmOptions opts;
   opts.gamma = 100.0;
   const auto res = estimate_covariance_em(n, ms, opts);
-  const auto eig = linalg::hermitian_eig(res.q);
+  const auto eig = res.q.eig();
   EXPECT_GT(std::abs(linalg::dot(eig.principal_eigenvector(), x)), 0.85);
 }
 
