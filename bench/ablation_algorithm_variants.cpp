@@ -7,7 +7,8 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ablation_algorithm_variants", argc, argv);
   using namespace mmw;
   using namespace mmw::sim;
 
@@ -48,5 +49,6 @@ int main() {
     }
     std::printf("\n");
   }
+  run.finish();
   return 0;
 }

@@ -9,7 +9,8 @@
 #include "mac/session.h"
 #include "sim/evaluation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ablation_blockage", argc, argv);
   using namespace mmw;
   using namespace mmw::sim;
 
@@ -46,5 +47,6 @@ int main() {
     }
     std::printf("\n");
   }
+  run.finish();
   return 0;
 }

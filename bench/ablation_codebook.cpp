@@ -9,7 +9,8 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ablation_codebook", argc, argv);
   using namespace mmw;
   using namespace mmw::sim;
 
@@ -30,5 +31,6 @@ int main() {
                 render_table("search_rate", res.search_rates, res.loss_db)
                     .c_str());
   }
+  run.finish();
   return 0;
 }

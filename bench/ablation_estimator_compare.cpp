@@ -5,7 +5,8 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ablation_estimator_compare", argc, argv);
   using namespace mmw;
   using namespace mmw::sim;
 
@@ -40,5 +41,6 @@ int main() {
     }
     std::printf("\n");
   }
+  run.finish();
   return 0;
 }

@@ -9,7 +9,8 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ablation_fades", argc, argv);
   using namespace mmw;
   using namespace mmw::sim;
 
@@ -35,5 +36,6 @@ int main() {
                 res.loss_db.at("Proposed")[1].mean,
                 res.loss_db.at("Random")[1].mean);
   }
+  run.finish();
   return 0;
 }

@@ -7,7 +7,8 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ablation_j_sweep", argc, argv);
   using namespace mmw;
   using namespace mmw::sim;
 
@@ -36,5 +37,6 @@ int main() {
     }
     std::printf("\n");
   }
+  run.finish();
   return 0;
 }

@@ -9,7 +9,8 @@
 #include "fig_common.h"
 #include "linalg/functions.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ablation_mu_sweep", argc, argv);
   using namespace mmw;
   using namespace mmw::sim;
   using linalg::Matrix;
@@ -70,5 +71,6 @@ int main() {
     }
     std::printf("\n");
   }
+  run.finish();
   return 0;
 }

@@ -12,7 +12,8 @@
 #include "mac/session.h"
 #include "sim/evaluation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ablation_phase_quantization", argc, argv);
   using namespace mmw;
   using antenna::ArrayGeometry;
   using antenna::Codebook;
@@ -89,5 +90,6 @@ int main() {
       "optimum, so the\nend-to-end loss isolates the search behaviour; the "
       "beam-gain column shows the\nhardware penalty itself (2-3 bits is "
       "within a fraction of a dB of ideal).\n");
+  run.finish();
   return 0;
 }

@@ -10,7 +10,8 @@
 #include "mac/session.h"
 #include "sim/evaluation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ablation_rank_sweep", argc, argv);
   using namespace mmw;
   using antenna::ArrayGeometry;
   using antenna::Codebook;
@@ -65,5 +66,6 @@ int main() {
                 random_loss / trials,
                 (random_loss - proposed_loss) / trials);
   }
+  run.finish();
   return 0;
 }

@@ -11,7 +11,8 @@
 #include "fig_common.h"
 #include "phy/capacity.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ext_capacity_gap", argc, argv);
   using namespace mmw;
   using antenna::ArrayGeometry;
   using linalg::Matrix;
@@ -50,5 +51,6 @@ int main() {
     std::printf("%zu\t%.3f\t%.3f\t%.3f\t%.2f\n", paths, bf / trials,
                 ep / trials, wf / trials, bf / wf);
   }
+  run.finish();
   return 0;
 }

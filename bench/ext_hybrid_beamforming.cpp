@@ -14,7 +14,8 @@
 #include "phy/capacity.h"
 #include "phy/hybrid.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ext_hybrid_beamforming", argc, argv);
   using namespace mmw;
   using antenna::ArrayGeometry;
   using linalg::Matrix;
@@ -70,5 +71,6 @@ int main() {
       std::printf("hybrid_%zu_rf\t%.3f\n", n_rf, hybrid[n_rf] / trials);
     std::printf("digital\t%.3f\n\n", digital / trials);
   }
+  run.finish();
   return 0;
 }

@@ -8,7 +8,8 @@
 #include "mac/timing.h"
 #include "sim/evaluation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ext_protocol_overhead", argc, argv);
   using namespace mmw;
   using namespace mmw::sim;
 
@@ -71,5 +72,6 @@ int main() {
       10.0 * std::log10(mean_snr["proposed@10%"]),
       10.0 * std::log10(mean_snr["random@10%"]),
       10.0 * std::log10(mean_snr["exhaustive@100%"]));
+  run.finish();
   return 0;
 }

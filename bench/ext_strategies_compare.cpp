@@ -9,7 +9,8 @@
 #include "mac/timing.h"
 #include "sim/evaluation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ext_strategies_compare", argc, argv);
   using namespace mmw;
   using namespace mmw::sim;
 
@@ -83,5 +84,6 @@ int main() {
                 sweep_loss / sc.trials,
                 timing.alignment_latency_us(sweep_meas, 16 + 4));
   }
+  run.finish();
   return 0;
 }

@@ -11,7 +11,8 @@
 #include "core/oracle.h"
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mmw::bench::BenchRun run("ext_wideband_selectivity", argc, argv);
   using namespace mmw;
   using antenna::ArrayGeometry;
   using antenna::Codebook;
@@ -82,5 +83,6 @@ int main() {
       "\naligned beams isolate one cluster: the conditional delay spread "
       "collapses and\n"
       "it stays coherent over far wider bandwidths than an arbitrary beam pair.\n");
+  run.finish();
   return 0;
 }

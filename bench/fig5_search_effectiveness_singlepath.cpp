@@ -12,8 +12,10 @@ int main(int argc, char** argv) {
   using namespace mmw;
   using namespace mmw::sim;
 
+  bench::BenchRun run("fig5_search_effectiveness_singlepath", argc, argv);
   Scenario sc = bench::paper_scenario(ChannelKind::kSinglePath);
   sc.threads = bench::threads_from_cli(argc, argv);
+  run.add_scenario(sc);
   bench::print_header("Figure 5", "search effectiveness, single-path channel",
                       sc.threads);
 
@@ -33,5 +35,6 @@ int main(int argc, char** argv) {
       render_csv("search_rate", result.search_rates, result.loss_db);
   std::printf("csv\n%s", csv.c_str());
   bench::write_artifact("fig5_search_effectiveness_singlepath.csv", csv);
+  run.finish();
   return 0;
 }

@@ -12,8 +12,10 @@ int main(int argc, char** argv) {
   using namespace mmw;
   using namespace mmw::sim;
 
+  bench::BenchRun run("fig6_search_effectiveness_multipath", argc, argv);
   Scenario sc = bench::paper_scenario(ChannelKind::kNycMultipath);
   sc.threads = bench::threads_from_cli(argc, argv);
+  run.add_scenario(sc);
   bench::print_header("Figure 6",
                       "search effectiveness, NYC multipath channel",
                       sc.threads);
@@ -34,5 +36,6 @@ int main(int argc, char** argv) {
       render_csv("search_rate", result.search_rates, result.loss_db);
   std::printf("csv\n%s", csv.c_str());
   bench::write_artifact("fig6_search_effectiveness_multipath.csv", csv);
+  run.finish();
   return 0;
 }

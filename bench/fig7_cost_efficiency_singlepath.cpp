@@ -14,8 +14,10 @@ int main(int argc, char** argv) {
   using namespace mmw;
   using namespace mmw::sim;
 
+  bench::BenchRun run("fig7_cost_efficiency_singlepath", argc, argv);
   Scenario sc = bench::paper_scenario(ChannelKind::kSinglePath);
   sc.threads = bench::threads_from_cli(argc, argv);
+  run.add_scenario(sc);
   bench::print_header("Figure 7", "cost efficiency, single-path channel",
                       sc.threads);
 
@@ -36,5 +38,6 @@ int main(int argc, char** argv) {
                                      result.required_rate);
   std::printf("csv\n%s", csv.c_str());
   bench::write_artifact("fig7_cost_efficiency_singlepath.csv", csv);
+  run.finish();
   return 0;
 }

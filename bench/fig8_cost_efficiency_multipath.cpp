@@ -11,8 +11,10 @@ int main(int argc, char** argv) {
   using namespace mmw;
   using namespace mmw::sim;
 
+  bench::BenchRun run("fig8_cost_efficiency_multipath", argc, argv);
   Scenario sc = bench::paper_scenario(ChannelKind::kNycMultipath);
   sc.threads = bench::threads_from_cli(argc, argv);
+  run.add_scenario(sc);
   bench::print_header("Figure 8", "cost efficiency, NYC multipath channel",
                       sc.threads);
 
@@ -33,5 +35,6 @@ int main(int argc, char** argv) {
                                      result.required_rate);
   std::printf("csv\n%s", csv.c_str());
   bench::write_artifact("fig8_cost_efficiency_multipath.csv", csv);
+  run.finish();
   return 0;
 }

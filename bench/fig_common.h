@@ -10,6 +10,9 @@
 #include <system_error>
 
 #include "core/thread_pool.h"
+#include "obs/clock.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "sim/experiments.h"
 
 namespace mmw::bench {
@@ -82,5 +85,97 @@ inline void write_artifact(const std::string& filename,
     std::fprintf(stderr, "note: could not write %s\n", path.c_str());
   }
 }
+
+/// Observability lifecycle shared by every figure/ablation bench: construct
+/// at the top of main, call finish() after the sweep.
+///
+///  - Instrumentation defaults ON for benches (the library default is off),
+///    overridable with MMW_OBS=off or `--obs off|on` (CLI wins over env).
+///  - `--trace[=path]` opts into span capture and writes a Chrome trace
+///    JSON (chrome://tracing / Perfetto) — default path
+///    bench_results/<name>_trace.json.
+///  - finish() snapshots the metrics registry into a run manifest
+///    (schema mmw.run_manifest/1) written next to the CSV artifact as
+///    bench_results/<name>_manifest.json.
+class BenchRun {
+ public:
+  BenchRun(std::string name, int argc, char** argv)
+      : name_(std::move(name)), manifest_(name_) {
+    bool on = obs::init_from_env(/*default_on=*/true);
+    for (int i = 1; i < argc; ++i) {
+      const auto flag = [&](const char* prefix) -> const char* {
+        const std::size_t len = std::strlen(prefix);
+        if (std::strncmp(argv[i], prefix, len) == 0 && argv[i][len] == '=')
+          return argv[i] + len + 1;
+        if (std::strcmp(argv[i], prefix) == 0)
+          return i + 1 < argc ? argv[++i] : "";
+        return nullptr;
+      };
+      if (const char* v = flag("--obs")) {
+        on = !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+               std::strcmp(v, "false") == 0);
+        obs::set_enabled(on);
+      } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+        trace_path_ = argv[i] + 8;
+      } else if (std::strcmp(argv[i], "--trace") == 0) {
+        trace_path_ = "bench_results/" + name_ + "_trace.json";
+      }
+    }
+    // A fresh registry per run: a bench may execute warm-up work before
+    // main's sweep in future; today this is a no-op on first use.
+    obs::Registry::global().reset();
+    if (!trace_path_.empty())
+      obs::TraceCollector::global().set_capturing(true);
+  }
+
+  /// Adds the scenario's reproducibility-relevant knobs to the manifest.
+  void add_scenario(const sim::Scenario& sc) {
+    manifest_.add_config("channel", std::string(sc.channel ==
+                                                        sim::ChannelKind::kSinglePath
+                                                    ? "single_path"
+                                                    : "nyc_multipath"));
+    manifest_.add_config("trials", static_cast<std::uint64_t>(sc.trials));
+    manifest_.add_config("seed", static_cast<std::uint64_t>(sc.seed));
+    manifest_.add_config("threads",
+                         static_cast<std::uint64_t>(
+                             core::resolve_thread_count(sc.threads)));
+    manifest_.add_config("gamma", static_cast<double>(sc.gamma));
+    manifest_.add_config(
+        "fades_per_measurement",
+        static_cast<std::uint64_t>(sc.fades_per_measurement));
+    manifest_.add_config("total_pairs",
+                         static_cast<std::uint64_t>(sc.total_pairs()));
+  }
+
+  obs::RunManifest& manifest() { return manifest_; }
+
+  /// Captures wall time + metrics and writes manifest (and trace, if
+  /// enabled) under bench_results/.
+  void finish() {
+    manifest_.set_wall_seconds(timer_.seconds());
+    manifest_.capture_metrics();
+    std::error_code ec;
+    std::filesystem::create_directories("bench_results", ec);
+    const std::string manifest_path =
+        "bench_results/" + name_ + "_manifest.json";
+    if (obs::write_text_file(manifest_path, manifest_.to_json()))
+      std::printf("(manifest written to %s)\n", manifest_path.c_str());
+    if (!trace_path_.empty()) {
+      obs::TraceCollector& tc = obs::TraceCollector::global();
+      if (obs::write_text_file(trace_path_, tc.chrome_json()))
+        std::printf("(trace written to %s, %llu events)\n",
+                    trace_path_.c_str(),
+                    static_cast<unsigned long long>(tc.event_count()));
+      tc.set_capturing(false);
+      tc.clear();
+    }
+  }
+
+ private:
+  std::string name_;
+  obs::RunManifest manifest_;
+  obs::WallTimer timer_;
+  std::string trace_path_;
+};
 
 }  // namespace mmw::bench

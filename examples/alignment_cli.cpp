@@ -10,16 +10,27 @@
 //                 [--rates r1,r2,...]      (loss experiment)
 //                 [--targets t1,t2,...]    (cost experiment)
 //                 [--csv]
+//                 [--trace PATH]           (write a Chrome trace JSON —
+//                                           load in chrome://tracing or
+//                                           ui.perfetto.dev)
+//                 [--metrics PATH]         (write the merged metrics
+//                                           snapshot as JSON)
+//
+// Instrumentation: --trace/--metrics turn the obs layer on; otherwise it
+// follows MMW_OBS (default off for this example — zero overhead).
 //
 // Examples:
 //   alignment_cli --channel nyc --experiment loss --trials 30
 //   alignment_cli --experiment cost --targets 3,2,1 --csv
+//   alignment_cli --trials 5 --trace run_trace.json --metrics run_metrics.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "sim/experiments.h"
 
 namespace {
@@ -60,6 +71,9 @@ int main(int argc, char** argv) {
   std::vector<real> targets{6.0, 4.0, 3.0, 2.0, 1.0};
   core::ProposedOptions proposed_opts;
   bool csv = false;
+  std::string trace_path;
+  std::string metrics_path;
+  obs::init_from_env(/*default_on=*/false);
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -110,10 +124,18 @@ int main(int argc, char** argv) {
       targets = parse_list(value());
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--trace") {
+      trace_path = value();
+    } else if (arg == "--metrics") {
+      metrics_path = value();
     } else {
       usage_error("unknown argument: " + arg);
     }
   }
+
+  if (!trace_path.empty() || !metrics_path.empty()) obs::set_enabled(true);
+  if (!trace_path.empty())
+    obs::TraceCollector::global().set_capturing(true);
 
   core::RandomSearch random_search;
   core::ScanSearch scan_search;
@@ -136,5 +158,14 @@ int main(int argc, char** argv) {
                                 res.required_rate);
     std::fputs(out.c_str(), stdout);
   }
+
+  if (!metrics_path.empty() &&
+      obs::write_text_file(metrics_path,
+                           obs::Registry::global().snapshot().to_json()))
+    std::fprintf(stderr, "(metrics written to %s)\n", metrics_path.c_str());
+  if (!trace_path.empty() &&
+      obs::write_text_file(trace_path,
+                           obs::TraceCollector::global().chrome_json()))
+    std::fprintf(stderr, "(trace written to %s)\n", trace_path.c_str());
   return 0;
 }

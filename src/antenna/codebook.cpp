@@ -5,8 +5,31 @@
 #include <numeric>
 
 #include "antenna/steering.h"
+#include "obs/metrics.h"
 
 namespace mmw::antenna {
+
+namespace {
+
+/// Codebook scoring telemetry: one "pass" = scoring every codeword against
+/// one covariance estimate. Factored vs. dense passes are split because
+/// the factored path is the PR-3 optimization the metrics exist to witness.
+struct ScoreMetrics {
+  obs::Counter passes_factored;
+  obs::Counter passes_dense;
+  obs::Counter scored_codewords;
+  static const ScoreMetrics& get() {
+    static const ScoreMetrics m{
+        obs::Registry::global().counter(
+            "antenna.codebook.score_passes_factored"),
+        obs::Registry::global().counter("antenna.codebook.score_passes_dense"),
+        obs::Registry::global().counter("antenna.codebook.scored_codewords"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Codebook Codebook::dft(const ArrayGeometry& geometry) {
   const index_t nx = geometry.grid_x();
@@ -143,6 +166,11 @@ index_t Codebook::best_for_covariance(
 
 std::vector<real> Codebook::covariance_scores(const linalg::Matrix& q) const {
   MMW_REQUIRE(q.rows() == codewords_.front().size());
+  if (obs::enabled()) {
+    const ScoreMetrics& m = ScoreMetrics::get();
+    m.passes_dense.add();
+    m.scored_codewords.add(static_cast<std::uint64_t>(size()));
+  }
   std::vector<real> score(size());
   for (index_t i = 0; i < size(); ++i)
     score[i] = linalg::hermitian_form(codewords_[i], q);
@@ -152,6 +180,11 @@ std::vector<real> Codebook::covariance_scores(const linalg::Matrix& q) const {
 std::vector<real> Codebook::covariance_scores(
     const linalg::FactoredHermitian& q) const {
   MMW_REQUIRE(q.dim() == codewords_.front().size());
+  if (obs::enabled()) {
+    const ScoreMetrics& m = ScoreMetrics::get();
+    m.passes_factored.add();
+    m.scored_codewords.add(static_cast<std::uint64_t>(size()));
+  }
   std::vector<real> score(size());
   for (index_t i = 0; i < size(); ++i) score[i] = q.rayleigh(codewords_[i]);
   return score;

@@ -5,7 +5,33 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mmw::core {
+
+namespace {
+
+/// Per-slot alignment telemetry for the proposed scheme (DESIGN.md §8).
+struct SlotMetrics {
+  obs::Counter slots;
+  obs::Histogram measurements;
+  obs::Histogram estimated_rank;
+  static const SlotMetrics& get() {
+    static const SlotMetrics m{
+        obs::Registry::global().counter("core.strategy.slots"),
+        obs::Registry::global().histogram(
+            "core.strategy.slot_measurements",
+            obs::HistogramBuckets::linear(1.0, 1.0, 16)),
+        obs::Registry::global().histogram(
+            "core.strategy.estimated_rank",
+            obs::HistogramBuckets::linear(0.0, 1.0, 17)),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 using antenna::Codebook;
 using estimation::BeamMeasurement;
@@ -150,6 +176,10 @@ void ProposedAlignment::run_with_state(Session& session,
     const index_t u_idx = tx_order[slot % tx_order.size()];
     ++slot;
 
+    obs::TraceScope slot_span("core.strategy.slot", "alignment");
+    slot_span.arg("slot", static_cast<double>(slot));
+    slot_span.arg("tx_beam", static_cast<double>(u_idx));
+
     std::vector<index_t> unmeasured;
     unmeasured.reserve(rx_cb.size());
     for (index_t v = 0; v < rx_cb.size(); ++v)
@@ -219,6 +249,15 @@ void ProposedAlignment::run_with_state(Session& session,
         slot_measurements.size() > probes.size()) {
       q_hat = estimate(slot_measurements);
     }
+    slot_span.arg("beams", static_cast<double>(slot_measurements.size()));
+    slot_span.arg("rank", static_cast<double>(q_hat.rank()));
+    if (obs::enabled()) {
+      const SlotMetrics& m = SlotMetrics::get();
+      m.slots.add();
+      m.measurements.record(static_cast<real>(slot_measurements.size()));
+      m.estimated_rank.record(static_cast<real>(q_hat.rank()));
+    }
+
     if (state_accum.empty())
       state_accum = q_hat.dense();
     else

@@ -4,7 +4,32 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mmw::core {
+
+namespace {
+
+/// Pool utilization telemetry (ROADMAP: the evidence for the multi-core
+/// re-measure item). busy/idle are wall-microsecond integrals per worker;
+/// tasks counts queue claims, not parallel_for iterations.
+struct PoolMetrics {
+  obs::Counter tasks;
+  obs::Counter busy_us;
+  obs::Counter idle_us;
+  static const PoolMetrics& get() {
+    static const PoolMetrics m{
+        obs::Registry::global().counter("core.pool.tasks"),
+        obs::Registry::global().counter("core.pool.busy_us"),
+        obs::Registry::global().counter("core.pool.idle_us"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 index_t resolve_thread_count(index_t requested) {
   if (requested > 0) return requested;
@@ -16,7 +41,7 @@ ThreadPool::ThreadPool(index_t thread_count) {
   const index_t n = resolve_thread_count(thread_count);
   workers_.reserve(n);
   for (index_t i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -38,9 +63,11 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(index_t ordinal) {
+  obs::set_thread_ordinal(ordinal);
   for (;;) {
     std::function<void()> task;
+    const std::uint64_t wait_start = obs::enabled() ? obs::now_us() : 0;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(lock,
@@ -49,11 +76,22 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Gate on the flag captured BEFORE the wait: if obs flipped on while we
+    // slept, wait_start is 0 and the interval would be garbage.
+    const bool timed = wait_start != 0 && obs::enabled();
+    const std::uint64_t run_start = timed ? obs::now_us() : 0;
+    if (timed) {
+      const PoolMetrics& m = PoolMetrics::get();
+      m.tasks.add();
+      m.idle_us.add(run_start - wait_start);
+    }
     try {
+      MMW_TRACE_SCOPE("core.pool.task", "pool");
       task();
     } catch (...) {
       // submit() is fire-and-forget; parallel_for captures its own errors.
     }
+    if (timed) PoolMetrics::get().busy_us.add(obs::now_us() - run_start);
   }
 }
 

@@ -64,7 +64,10 @@ class ThreadPool {
                     const std::function<void(index_t)>& body);
 
  private:
-  void worker_loop();
+  /// `ordinal` is the 1-based worker index, reported to obs as the thread
+  /// ordinal so metric shards and trace buffers merge in a stable order
+  /// (the caller thread keeps ordinal 0).
+  void worker_loop(index_t ordinal);
 
   std::mutex mutex_;
   std::condition_variable work_available_;

@@ -5,6 +5,8 @@
 
 #include "linalg/eig.h"
 #include "linalg/functions.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mmw::estimation {
 
@@ -45,8 +47,78 @@ struct SolveResult {
   Matrix q;
   real objective = 0.0;
   int iterations = 0;
+  int backtracks = 0;  ///< rejected trial points across all iterations
   bool converged = false;
 };
+
+/// Telemetry handles for the proximal-gradient solver (DESIGN.md §8).
+struct MlMetrics {
+  obs::Counter solves;
+  obs::Counter nonconverged;
+  obs::Counter backtracks;
+  obs::Histogram iterations;
+  obs::Histogram recovered_rank;
+  static const MlMetrics& get() {
+    static const MlMetrics m{
+        obs::Registry::global().counter("estimation.ml.solves"),
+        obs::Registry::global().counter("estimation.ml.nonconverged"),
+        obs::Registry::global().counter("estimation.ml.backtracks"),
+        obs::Registry::global().histogram(
+            "estimation.ml.iterations",
+            obs::HistogramBuckets::exponential(1.0, 2.0, 12)),
+        obs::Registry::global().histogram(
+            "estimation.ml.recovered_rank",
+            obs::HistogramBuckets::linear(0.0, 1.0, 17)),
+    };
+    return m;
+  }
+};
+
+struct EmMetrics {
+  obs::Counter solves;
+  obs::Counter nonconverged;
+  obs::Histogram iterations;
+  static const EmMetrics& get() {
+    static const EmMetrics m{
+        obs::Registry::global().counter("estimation.em.solves"),
+        obs::Registry::global().counter("estimation.em.nonconverged"),
+        obs::Registry::global().histogram(
+            "estimation.em.iterations",
+            obs::HistogramBuckets::exponential(1.0, 2.0, 12)),
+    };
+    return m;
+  }
+};
+
+/// Numerical rank of the recovered covariance: eigenvalues above a relative
+/// floor. Only evaluated when instrumentation is on — it costs an r×r
+/// eigendecomposition (r ≤ J) per solve.
+index_t recovered_rank(const FactoredHermitian& q) {
+  if (q.empty()) return 0;
+  const linalg::EigResult eig = q.eig();
+  if (eig.eigenvalues.empty()) return 0;
+  const real floor = 1e-12 * std::max(eig.eigenvalues[0], real{0.0});
+  index_t rank = 0;
+  for (const real lambda : eig.eigenvalues)
+    if (lambda > floor) ++rank;
+  return rank;
+}
+
+/// Records the per-solve metrics shared by both wrapper entry points.
+/// Satellite fix: non-converged solves used to vanish silently; they are now
+/// counted (estimation.ml.nonconverged) and surface in run manifests. Beam
+/// selection is unchanged — the estimate is still used as-is.
+void record_ml_solve(const SolveResult& solve,
+                     const CovarianceMlResult& result) {
+  if (!obs::enabled()) return;
+  const MlMetrics& m = MlMetrics::get();
+  m.solves.add();
+  if (!solve.converged) m.nonconverged.add();
+  if (solve.backtracks > 0)
+    m.backtracks.add(static_cast<std::uint64_t>(solve.backtracks));
+  m.iterations.record(static_cast<real>(solve.iterations));
+  m.recovered_rank.record(static_cast<real>(recovered_rank(result.q)));
+}
 
 /// Core projected proximal-gradient loop on an n-dimensional problem.
 /// After the beam-span reduction n is the span rank r ≤ J, so every matrix
@@ -62,6 +134,11 @@ struct SolveResult {
 SolveResult solve_full(index_t n,
                        std::span<const BeamMeasurement> measurements,
                        const CovarianceMlOptions& opts) {
+  obs::TraceScope span("estimation.ml.solve", "estimation");
+  span.arg("n", static_cast<double>(n));
+  span.arg("measurements", static_cast<double>(measurements.size()));
+  const bool tracing = span.active();
+
   // Moment-based warm start keeps the likelihood well-conditioned from the
   // first iteration (Q = 0 would put all mass on the noise floor).
   Matrix q = sample_covariance_estimate(n, measurements, opts.gamma);
@@ -72,6 +149,8 @@ SolveResult solve_full(index_t n,
   real nll_cur = negative_log_likelihood(q, measurements, opts.gamma);
   real f_prev = nll_cur + opts.mu * q.trace().real();
   real step = opts.initial_step;
+  if (tracing)
+    obs::TraceCollector::global().counter("estimation.ml.nll", nll_cur);
 
   for (int it = 0; it < opts.max_iterations; ++it) {
     const Matrix grad = gradient(q, measurements, opts.gamma);
@@ -97,6 +176,7 @@ SolveResult solve_full(index_t n,
         break;
       }
       step *= 0.5;
+      ++result.backtracks;
     }
     if (!accepted) {
       // The step has shrunk below usefulness: we are at (numerical)
@@ -110,6 +190,8 @@ SolveResult solve_full(index_t n,
     nll_cur = nll_next;
     const real f_now = nll_cur + opts.mu * q.trace().real();
     result.iterations = it + 1;
+    if (tracing)
+      obs::TraceCollector::global().counter("estimation.ml.nll", nll_cur);
     if (std::abs(f_prev - f_now) <=
         opts.tolerance * std::max(1.0, std::abs(f_prev))) {
       result.converged = true;
@@ -124,6 +206,8 @@ SolveResult solve_full(index_t n,
 
   result.q = std::move(q);
   result.objective = f_prev;
+  span.arg("iterations", static_cast<double>(result.iterations));
+  span.arg("converged", result.converged ? 1.0 : 0.0);
   return result;
 }
 
@@ -191,6 +275,7 @@ CovarianceMlResult estimate_covariance_ml(
     result.objective = full.objective;
     result.iterations = full.iterations;
     result.converged = full.converged;
+    record_ml_solve(full, result);
     return result;
   }
   SolveResult red = solve_full(rp.basis.size(), rp.reduced, opts);
@@ -198,6 +283,7 @@ CovarianceMlResult estimate_covariance_ml(
   result.objective = red.objective;
   result.iterations = red.iterations;
   result.converged = red.converged;
+  record_ml_solve(red, result);
   return result;
 }
 
@@ -216,6 +302,11 @@ CovarianceMlResult estimate_covariance_em(
               : measurements;
   const index_t dim = reduced ? rp.basis.size() : n;
   const real j_count = static_cast<real>(ms.size());
+
+  obs::TraceScope span("estimation.em.solve", "estimation");
+  span.arg("n", static_cast<double>(dim));
+  span.arg("measurements", static_cast<double>(ms.size()));
+  const bool tracing = span.active();
 
   Matrix q = sample_covariance_estimate(dim, ms, opts.gamma);
   // A zero warm start is an EM fixed point; nudge it off the boundary.
@@ -259,6 +350,8 @@ CovarianceMlResult estimate_covariance_em(
 
     const real nll = negative_log_likelihood(q, ms, opts.gamma);
     result.iterations = it + 1;
+    if (tracing)
+      obs::TraceCollector::global().counter("estimation.em.nll", nll);
     if (std::abs(nll_prev - nll) <=
         opts.tolerance * std::max(1.0, std::abs(nll_prev))) {
       result.converged = true;
@@ -271,6 +364,14 @@ CovarianceMlResult estimate_covariance_em(
   result.q = reduced
                  ? FactoredHermitian(rp.basis_matrix(n), std::move(q))
                  : FactoredHermitian::from_dense(std::move(q));
+  span.arg("iterations", static_cast<double>(result.iterations));
+  span.arg("converged", result.converged ? 1.0 : 0.0);
+  if (obs::enabled()) {
+    const EmMetrics& m = EmMetrics::get();
+    m.solves.add();
+    if (!result.converged) m.nonconverged.add();
+    m.iterations.record(static_cast<real>(result.iterations));
+  }
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace mmw::estimation {
 
 real expected_energy(const linalg::Matrix& q, const linalg::Vector& v,
@@ -21,6 +23,13 @@ namespace {
 template <typename Cov>
 real nll_impl(const Cov& q, std::span<const BeamMeasurement> measurements,
               real gamma) {
+  // Likelihood passes dominate solver cost; the count (vs. solver
+  // iterations) exposes how much the backtracking line search re-evaluates.
+  if (obs::enabled()) {
+    static const obs::Counter evals =
+        obs::Registry::global().counter("estimation.nll_evals");
+    evals.add();
+  }
   real acc = 0.0;
   for (const BeamMeasurement& m : measurements) {
     const real lambda = expected_energy(q, m.beam, gamma);

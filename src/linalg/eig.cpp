@@ -4,9 +4,32 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace mmw::linalg {
 
 namespace {
+
+/// Telemetry handles for the Jacobi kernel, resolved once. Every call path
+/// through beam alignment funnels into hermitian_eig, so sweep counts are
+/// the single best proxy for linalg cost.
+struct EigMetrics {
+  obs::Counter calls;
+  obs::Counter exhausted;
+  obs::Histogram sweeps;
+  obs::Gauge exit_offdiag;
+  static const EigMetrics& get() {
+    static const EigMetrics m{
+        obs::Registry::global().counter("linalg.eig.jacobi_calls"),
+        obs::Registry::global().counter("linalg.eig.sweeps_exhausted"),
+        obs::Registry::global().histogram(
+            "linalg.eig.jacobi_sweeps",
+            obs::HistogramBuckets::linear(1.0, 1.0, 16)),
+        obs::Registry::global().gauge("linalg.eig.exit_offdiag"),
+    };
+    return m;
+  }
+};
 
 /// Sum of squared magnitudes of the strictly-off-diagonal entries.
 real off_diagonal_sq(const Matrix& a) {
@@ -78,9 +101,12 @@ EigResult hermitian_eig(const Matrix& a_in, const JacobiOptions& opts,
 
   const real stop = opts.tolerance * scale;
   int sweep = 0;
-  while (std::sqrt(off_diagonal_sq(a)) > stop) {
-    if (++sweep > opts.max_sweeps)
+  real offdiag = std::sqrt(off_diagonal_sq(a));
+  while (offdiag > stop) {
+    if (++sweep > opts.max_sweeps) {
+      if (obs::enabled()) EigMetrics::get().exhausted.add();
       throw convergence_error("hermitian_eig: Jacobi sweeps exhausted");
+    }
     for (index_t p = 0; p + 1 < n; ++p) {
       for (index_t q = p + 1; q < n; ++q) {
         const cx apq = a(p, q);
@@ -98,6 +124,14 @@ EigResult hermitian_eig(const Matrix& a_in, const JacobiOptions& opts,
         apply_rotation(a, v, p, q, c, s, phase);
       }
     }
+    offdiag = std::sqrt(off_diagonal_sq(a));
+  }
+
+  if (obs::enabled()) {
+    const EigMetrics& m = EigMetrics::get();
+    m.calls.add();
+    m.sweeps.record(static_cast<real>(sweep));
+    m.exit_offdiag.set(offdiag);
   }
 
   EigResult result;

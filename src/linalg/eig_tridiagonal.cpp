@@ -11,6 +11,7 @@
 #include <numeric>
 
 #include "linalg/eig.h"
+#include "obs/metrics.h"
 
 namespace mmw::linalg {
 
@@ -152,6 +153,12 @@ EigResult hermitian_eig_ql(const Matrix& a_in, real hermitian_tol) {
   const real scale = std::max(a_in.frobenius_norm(), 1e-300);
   MMW_REQUIRE_MSG(a_in.is_hermitian(hermitian_tol * std::max(1.0, scale)),
                   "hermitian_eig_ql requires a Hermitian matrix");
+
+  if (obs::enabled()) {
+    static const obs::Counter calls =
+        obs::Registry::global().counter("linalg.eig.ql_calls");
+    calls.add();
+  }
 
   const index_t n = a_in.rows();
   Matrix a = (a_in + a_in.adjoint()) * cx{0.5, 0.0};

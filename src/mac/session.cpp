@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace mmw::mac {
+
+namespace {
+
+struct SessionMetrics {
+  obs::Counter measurements;
+  obs::Counter blocked;
+  static const SessionMetrics& get() {
+    static const SessionMetrics m{
+        obs::Registry::global().counter("mac.session.measurements"),
+        obs::Registry::global().counter("mac.session.blocked"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Session::Session(const channel::Link& link,
                  const antenna::Codebook& tx_codebook,
@@ -66,6 +84,11 @@ real Session::measure(index_t tx_beam, index_t rx_beam) {
 
   measured_[tx_beam * rx_codebook_->size() + rx_beam] = true;
   records_.push_back({tx_beam, rx_beam, energy});
+  if (obs::enabled()) {
+    const SessionMetrics& m = SessionMetrics::get();
+    m.measurements.add();
+    if (blocked) m.blocked.add();
+  }
   return energy;
 }
 

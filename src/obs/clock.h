@@ -1,0 +1,39 @@
+// Steady-clock timer abstraction shared by tracing and the run manifests.
+//
+// All instrumentation timestamps come from ONE monotonic source so spans
+// from different threads order consistently in a trace. Chrome's
+// trace_event format wants microseconds; we keep integers end-to-end to
+// avoid float drift in long runs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "linalg/common.h"
+
+namespace mmw::obs {
+
+/// Monotonic microseconds since an arbitrary process-local epoch (the
+/// steady clock's). Comparable across threads; never goes backwards.
+inline std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Wall-clock stopwatch for run manifests: started at construction,
+/// `seconds()` reads the elapsed steady-clock time.
+class WallTimer {
+ public:
+  WallTimer() : start_us_(now_us()) {}
+  double seconds() const {
+    return static_cast<double>(now_us() - start_us_) * 1e-6;
+  }
+  std::uint64_t elapsed_us() const { return now_us() - start_us_; }
+
+ private:
+  std::uint64_t start_us_;
+};
+
+}  // namespace mmw::obs

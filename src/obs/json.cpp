@@ -1,0 +1,60 @@
+#include "obs/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace mmw::obs {
+
+void JsonWriter::number(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN literals; null keeps consumers parsing.
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips doubles; trim to the shortest that is still exact is
+  // not worth the complexity for telemetry output.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::number(std::uint64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+}
+
+void JsonWriter::number(std::int64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+}
+
+void JsonWriter::append_quoted(std::string_view s) {
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+}  // namespace mmw::obs

@@ -1,0 +1,89 @@
+// Minimal JSON writer for the observability exporters (metrics snapshots,
+// Chrome traces, run manifests). Dependency-free by design — the obs layer
+// must not pull a serialization library into every leaf target.
+//
+// Usage is push-style and the caller owns well-formedness of the nesting:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("name"); w.string("fig5");
+//   w.key("trials"); w.number(25);
+//   w.end_object();
+//   std::string out = std::move(w).str();
+// Commas between siblings are inserted automatically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linalg/common.h"
+
+namespace mmw::obs {
+
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Object key; must be followed by exactly one value (or container).
+  void key(std::string_view k) {
+    comma();
+    append_quoted(k);
+    out_ += ':';
+    expect_value_ = true;
+  }
+
+  void string(std::string_view v) {
+    comma();
+    append_quoted(v);
+  }
+  void number(double v);
+  void number(std::uint64_t v);
+  void number(std::int64_t v);
+  void boolean(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+  void null() {
+    comma();
+    out_ += "null";
+  }
+
+  /// Splices a pre-rendered JSON fragment in value position (e.g. a nested
+  /// snapshot rendered by its own writer). The fragment must be valid JSON.
+  void raw(std::string_view json) {
+    comma();
+    out_ += json;
+  }
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  void comma() {
+    if (expect_value_) {
+      expect_value_ = false;
+      return;
+    }
+    if (!out_.empty() && out_.back() != '{' && out_.back() != '[' &&
+        out_.back() != ':')
+      out_ += ',';
+  }
+  void open(char c) {
+    comma();
+    out_ += c;
+  }
+  void close(char c) {
+    out_ += c;
+    expect_value_ = false;
+  }
+  void append_quoted(std::string_view s);
+
+  std::string out_;
+  bool expect_value_ = false;
+};
+
+}  // namespace mmw::obs

@@ -1,0 +1,106 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/json.h"
+
+namespace mmw::obs {
+
+namespace {
+
+std::string render_string(const std::string& v) {
+  JsonWriter w;
+  w.string(v);
+  return std::move(w).str();
+}
+
+}  // namespace
+
+void RunManifest::add_config(std::string key, std::string value) {
+  config_.emplace_back(std::move(key), render_string(value));
+}
+
+void RunManifest::add_config(std::string key, double value) {
+  JsonWriter w;
+  w.number(value);
+  config_.emplace_back(std::move(key), std::move(w).str());
+}
+
+void RunManifest::add_config(std::string key, std::uint64_t value) {
+  JsonWriter w;
+  w.number(value);
+  config_.emplace_back(std::move(key), std::move(w).str());
+}
+
+void RunManifest::add_config(std::string key, bool value) {
+  config_.emplace_back(std::move(key), value ? "true" : "false");
+}
+
+std::string RunManifest::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.string("mmw.run_manifest/1");
+  w.key("name");
+  w.string(name_);
+  w.key("build");
+  w.begin_object();
+  w.key("compiler");
+#if defined(__VERSION__)
+  w.string(__VERSION__);
+#else
+  w.string("unknown");
+#endif
+  w.key("build_type");
+#if defined(MMW_BUILD_TYPE)
+  w.string(MMW_BUILD_TYPE);
+#elif defined(NDEBUG)
+  w.string("Release");
+#else
+  w.string("Debug");
+#endif
+  w.key("obs_enabled");
+  w.boolean(enabled());
+  w.end_object();
+  w.key("config");
+  w.begin_object();
+  for (const auto& [key, value] : config_) {
+    w.key(key);
+    w.raw(value);
+  }
+  w.end_object();
+  w.key("wall_seconds");
+  w.number(wall_seconds_);
+  w.key("metrics");
+  if (metrics_json_.empty())
+    w.null();
+  else
+    w.raw(metrics_json_);
+  w.end_object();
+  return std::move(w).str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      std::fprintf(stderr, "note: could not create %s: %s\n",
+                   p.parent_path().c_str(), ec.message().c_str());
+      return false;
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "note: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace mmw::obs

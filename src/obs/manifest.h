@@ -1,0 +1,50 @@
+// Run manifests: one JSON document per experiment/bench run recording what
+// was run (config, seed, threads), on what (compiler, build type), how long
+// it took, and the aggregated metrics snapshot — so a CSV artifact is never
+// an orphan. Schema documented in EXPERIMENTS.md §Observability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mmw::obs {
+
+/// Builder for a run manifest. Config entries preserve insertion order.
+class RunManifest {
+ public:
+  explicit RunManifest(std::string name) : name_(std::move(name)) {}
+
+  void add_config(std::string key, std::string value);
+  void add_config(std::string key, double value);
+  void add_config(std::string key, std::uint64_t value);
+  void add_config(std::string key, bool value);
+
+  void set_wall_seconds(double s) { wall_seconds_ = s; }
+
+  /// Captures Registry::global()'s current merged state into the manifest.
+  void capture_metrics() { metrics_json_ = Registry::global().snapshot().to_json(); }
+
+  /// Renders the manifest document:
+  ///   {"schema": "mmw.run_manifest/1", "name": ..., "build": {...},
+  ///    "config": {...}, "wall_seconds": ..., "metrics": {...}}
+  std::string to_json() const;
+
+ private:
+  std::string name_;
+  /// (key, pre-rendered JSON value) — rendering happens in add_config so
+  /// heterogeneous types need no variant.
+  std::vector<std::pair<std::string, std::string>> config_;
+  double wall_seconds_ = 0.0;
+  std::string metrics_json_;
+};
+
+/// Writes `content` to `path`, creating parent directories on demand.
+/// Returns false (after printing a note to stderr) on failure — telemetry
+/// output must never take down a run.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace mmw::obs

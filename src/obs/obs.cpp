@@ -1,0 +1,34 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace mmw::obs {
+
+namespace {
+
+std::uint64_t& tls_ordinal() {
+  thread_local std::uint64_t ordinal = 0;
+  return ordinal;
+}
+
+}  // namespace
+
+bool init_from_env(bool default_on) {
+  bool on = default_on;
+  if (const char* env = std::getenv("MMW_OBS")) {
+    const std::string_view v(env);
+    if (v == "off" || v == "0" || v == "false")
+      on = false;
+    else if (v == "on" || v == "1" || v == "true")
+      on = true;
+  }
+  set_enabled(on);
+  return on;
+}
+
+void set_thread_ordinal(std::uint64_t ordinal) { tls_ordinal() = ordinal; }
+
+std::uint64_t thread_ordinal() { return tls_ordinal(); }
+
+}  // namespace mmw::obs

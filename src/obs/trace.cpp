@@ -1,0 +1,191 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace mmw::obs {
+
+/// Per-thread event sink. The mutex is only contended when an export or
+/// clear races ongoing capture; recorder-vs-recorder is impossible.
+struct TraceCollector::Buffer {
+  mutable std::mutex mutex;
+  std::uint64_t ordinal = 0;   ///< thread ordinal at first event
+  std::uint64_t sequence = 0;  ///< registration order (merge tiebreak)
+  std::vector<TraceEvent> events;
+};
+
+namespace {
+
+struct TlsBuffers {
+  // shared_ptr<void>: Buffer is private to TraceCollector; ownership is
+  // what matters here, the type is recovered at the lookup site.
+  std::vector<std::pair<const TraceCollector*, std::shared_ptr<void>>>
+      entries;
+};
+TlsBuffers& tls_buffers() {
+  thread_local TlsBuffers tls;
+  return tls;
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector* instance = new TraceCollector();  // outlives TLS
+  return *instance;
+}
+
+TraceCollector::~TraceCollector() {
+  auto& entries = tls_buffers().entries;
+  std::erase_if(entries, [this](const auto& e) { return e.first == this; });
+}
+
+TraceCollector::Buffer& TraceCollector::local_buffer() {
+  auto& entries = tls_buffers().entries;
+  for (auto& [collector, buffer] : entries)
+    if (collector == this) return *static_cast<Buffer*>(buffer.get());
+
+  auto buffer = std::make_shared<Buffer>();
+  buffer->ordinal = thread_ordinal();
+  {
+    std::lock_guard lock(mutex_);
+    buffer->sequence = next_sequence_++;
+    buffers_.push_back(buffer);
+  }
+  entries.emplace_back(this, buffer);
+  return *buffer;
+}
+
+void TraceCollector::push(const TraceEvent& event) {
+  Buffer& buffer = local_buffer();
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.push_back(event);
+}
+
+void TraceCollector::complete(const char* name, const char* category,
+                              std::uint64_t ts_us, std::uint64_t dur_us,
+                              const TraceEvent::Arg* args, int num_args) {
+  if (!capturing()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.num_args = std::min(num_args, TraceEvent::kMaxArgs);
+  for (int i = 0; i < e.num_args; ++i) e.args[i] = args[i];
+  push(e);
+}
+
+void TraceCollector::counter(const char* name, double value) {
+  if (!capturing()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = "mmw";
+  e.phase = 'C';
+  e.ts_us = now_us();
+  e.value = value;
+  push(e);
+}
+
+void TraceCollector::instant(const char* name, const char* category) {
+  if (!capturing()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'i';
+  e.ts_us = now_us();
+  push(e);
+}
+
+std::uint64_t TraceCollector::event_count() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard lock(mutex_);
+    buffers = buffers_;
+  }
+  std::uint64_t n = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+std::string TraceCollector::chrome_json() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard lock(mutex_);
+    buffers = buffers_;
+  }
+  std::sort(buffers.begin(), buffers.end(),
+            [](const auto& a, const auto& b) {
+              if (a->ordinal != b->ordinal) return a->ordinal < b->ordinal;
+              return a->sequence < b->sequence;
+            });
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    // tid: ordinal when labelled (pool workers are 1..n, main stays 0);
+    // unlabelled extra threads collapse onto 0, which the viewer tolerates.
+    const std::uint64_t tid = buffer->ordinal;
+    for (const TraceEvent& e : buffer->events) {
+      w.begin_object();
+      w.key("name");
+      w.string(e.name);
+      w.key("cat");
+      w.string(e.category != nullptr ? e.category : "mmw");
+      w.key("ph");
+      w.string(std::string_view(&e.phase, 1));
+      w.key("pid");
+      w.number(std::uint64_t{1});
+      w.key("tid");
+      w.number(tid);
+      w.key("ts");
+      w.number(e.ts_us);
+      if (e.phase == 'X') {
+        w.key("dur");
+        w.number(e.dur_us);
+      }
+      if (e.phase == 'C') {
+        w.key("args");
+        w.begin_object();
+        w.key("value");
+        w.number(e.value);
+        w.end_object();
+      } else if (e.num_args > 0) {
+        w.key("args");
+        w.begin_object();
+        for (int i = 0; i < e.num_args; ++i) {
+          w.key(e.args[i].key);
+          w.number(e.args[i].value);
+        }
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.string("ms");
+  w.end_object();
+  return std::move(w).str();
+}
+
+void TraceCollector::clear() {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+}  // namespace mmw::obs

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace mmw::sim {
 
 mac::MeasurementRecord best_in_prefix(
@@ -18,7 +20,15 @@ real loss_after(const core::PairGainOracle& oracle,
                 std::span<const mac::MeasurementRecord> records,
                 index_t count) {
   const mac::MeasurementRecord best = best_in_prefix(records, count);
-  return oracle.loss_db(best.tx_beam, best.rx_beam);
+  const real loss = oracle.loss_db(best.tx_beam, best.rx_beam);
+  // Instantaneous SNR loss of the selected pair — the paper's headline
+  // quantity. Gauge aggregates (min/max/mean) summarize a whole run.
+  if (obs::enabled()) {
+    static const obs::Gauge gauge =
+        obs::Registry::global().gauge("sim.loss_db");
+    gauge.set(loss);
+  }
+  return loss;
 }
 
 std::vector<real> loss_trajectory(

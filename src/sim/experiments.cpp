@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/evaluation.h"
 
 namespace mmw::sim {
@@ -24,14 +26,21 @@ index_t rate_to_budget(real rate, index_t total) {
 // free stream Rng::stream(seed, t), not from a sequentially forked root.
 template <typename Body>
 void for_each_trial(const Scenario& scenario, const Body& body) {
+  static const obs::Counter trials_counter =
+      obs::Registry::global().counter("sim.trials");
+  const auto run_trial = [&](index_t t) {
+    MMW_TRACE_SCOPE("sim.trial", "sim");
+    if (obs::enabled()) trials_counter.add();
+    body(t);
+  };
   const index_t threads =
       std::min(core::resolve_thread_count(scenario.threads), scenario.trials);
   if (threads <= 1) {
-    for (index_t t = 0; t < scenario.trials; ++t) body(t);
+    for (index_t t = 0; t < scenario.trials; ++t) run_trial(t);
     return;
   }
   core::ThreadPool pool(threads);
-  pool.parallel_for(0, scenario.trials, [&](index_t t) { body(t); });
+  pool.parallel_for(0, scenario.trials, [&](index_t t) { run_trial(t); });
 }
 
 }  // namespace
@@ -44,6 +53,10 @@ EffectivenessResult run_search_effectiveness(
   MMW_REQUIRE(!search_rates.empty());
   MMW_REQUIRE(scenario.trials >= 1);
   MMW_REQUIRE(std::is_sorted(search_rates.begin(), search_rates.end()));
+
+  obs::TraceScope span("sim.run_search_effectiveness", "sim");
+  span.arg("trials", static_cast<double>(scenario.trials));
+  span.arg("strategies", static_cast<double>(strategies.size()));
 
   const index_t total = scenario.total_pairs();
   const index_t max_budget = rate_to_budget(search_rates.back(), total);
@@ -105,6 +118,10 @@ CostEfficiencyResult run_cost_efficiency(
   MMW_REQUIRE(!strategies.empty());
   MMW_REQUIRE(!target_loss_db.empty());
   MMW_REQUIRE(scenario.trials >= 1);
+
+  obs::TraceScope span("sim.run_cost_efficiency", "sim");
+  span.arg("trials", static_cast<double>(scenario.trials));
+  span.arg("strategies", static_cast<double>(strategies.size()));
 
   const index_t total = scenario.total_pairs();
 

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "randgen/rng.h"
 
 namespace mmw::linalg {
@@ -151,6 +152,40 @@ TEST(EigTest, SweepExhaustionThrows) {
   JacobiOptions opts;
   opts.max_sweeps = 0;
   EXPECT_THROW(hermitian_eig(a, opts), convergence_error);
+}
+
+TEST(EigTest, SweepExhaustionAfterPartialProgressThrows) {
+  // max_sweeps = 1 lets a full rotation sweep run before the budget check
+  // fires — a dense random 12×12 cannot reach 1e-12 in one sweep, so this
+  // exercises the throw on the mid-loop path, not the degenerate entry.
+  Rng rng(29);
+  Matrix g = rng.complex_gaussian_matrix(12, 12);
+  Matrix a = (g + g.adjoint()) * cx{0.5, 0.0};
+  JacobiOptions opts;
+  opts.max_sweeps = 1;
+  EXPECT_THROW(hermitian_eig(a, opts), convergence_error);
+}
+
+TEST(EigTest, SweepExhaustionIsCounted) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const auto count = [] {
+    return obs::Registry::global()
+        .snapshot()
+        .counters.at("linalg.eig.sweeps_exhausted")
+        .value;
+  };
+  Rng rng(31);
+  Matrix g = rng.complex_gaussian_matrix(10, 10);
+  Matrix a = (g + g.adjoint()) * cx{0.5, 0.0};
+  JacobiOptions opts;
+  opts.max_sweeps = 1;
+  EXPECT_THROW(hermitian_eig(a, opts), convergence_error);
+  const std::uint64_t after_first = count();
+  EXPECT_GE(after_first, 1u);
+  EXPECT_THROW(hermitian_eig(a, opts), convergence_error);
+  EXPECT_EQ(count(), after_first + 1);
+  obs::set_enabled(was_enabled);
 }
 
 // ----------------------------------------------------------- QL solver ----

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Gate on the disabled-instrumentation overhead of the slot-cycle benches.
+
+The observability layer (src/obs/) is compiled into every hot path; when
+disabled its only cost is one relaxed atomic load per instrumentation site.
+This script enforces that claim: the BM_SlotCycle* timings of a fresh
+google-benchmark JSON run must stay within --tolerance (default 3%) of the
+committed pre-instrumentation baseline (bench_results/BENCH_micro_linalg.json,
+recorded at PR 3).
+
+Raw nanoseconds are not comparable across machines, so by default the
+current run is rescaled by the median current/baseline ratio over a set of
+calibration benchmarks whose code paths carry no instrumentation at all
+(pure dense linear algebra).  On the machine that recorded the baseline the
+scale factor is ~1 and the comparison is direct; on a CI runner the machine
+speed difference cancels while a regression isolated to the slot cycle
+still shows up.  Pass --no-calibrate for a strict same-machine comparison.
+
+A single benchmark run is itself noisy (the committed baseline is one run),
+so --current may be given several times and repeated rows within one file
+(--benchmark_repetitions) are folded together; the per-benchmark minimum is
+compared, which is the standard de-noising for time-based microbenchmarks.
+
+Usage:
+  python3 tools/check_obs_overhead.py --current BENCH_micro_linalg.json
+  python3 tools/check_obs_overhead.py --current run1.json --current run2.json \
+      --baseline old.json --tolerance 0.03 --no-calibrate
+
+Exit status 0 if every gated benchmark is within tolerance, 1 otherwise.
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# Benchmarks the gate protects: the per-slot hot loop of the proposed
+# alignment strategy (codebook scoring + covariance update), with and
+# without the ML solver in the loop.
+GATED_PREFIX = "BM_SlotCycle"
+
+# Instrumentation-free benchmarks used to cancel machine-speed differences.
+# These must not touch obs-instrumented code (no eig, no solver, no
+# codebook scoring entry points).
+CALIBRATION_PREFIXES = (
+    "BM_MatrixMultiply",
+    "BM_AddScaledOuter",
+    "BM_OuterTemporaryAdd",
+    "BM_SteeringVector",
+)
+
+
+def load_times(paths):
+    """Return {benchmark name: min real_time in ns} over google-benchmark
+    JSON files; repeated rows for one name keep the minimum."""
+    times = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for b in doc.get("benchmarks", []):
+            if b.get("run_type", "iteration") != "iteration":
+                continue  # skip aggregate rows (mean/median/stddev)
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+            name = b["name"].split("/repeats:")[0]
+            t = float(b["real_time"]) * scale
+            times[name] = min(times.get(name, t), t)
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, action="append",
+                        help="google-benchmark JSON from this build "
+                             "(repeatable; per-benchmark minimum is used)")
+    parser.add_argument("--baseline", action="append",
+                        help="baseline JSON (repeatable; default: "
+                             "bench_results/BENCH_micro_linalg.json)")
+    parser.add_argument("--tolerance", type=float, default=0.03,
+                        help="allowed fractional slowdown (default: %(default)s)")
+    parser.add_argument("--filter", default=GATED_PREFIX,
+                        help="benchmark-name prefix to gate (default: %(default)s)")
+    parser.add_argument("--no-calibrate", action="store_true",
+                        help="compare raw times (same-machine runs only)")
+    args = parser.parse_args()
+
+    baseline_paths = args.baseline or ["bench_results/BENCH_micro_linalg.json"]
+    baseline = load_times(baseline_paths)
+    current = load_times(args.current)
+
+    gated = sorted(n for n in baseline
+                   if n.startswith(args.filter) and n in current)
+    if not gated:
+        print(f"error: no benchmarks matching '{args.filter}' present in both "
+              f"{baseline_paths} and {args.current}", file=sys.stderr)
+        return 1
+
+    scale = 1.0
+    if not args.no_calibrate:
+        ratios = [current[n] / baseline[n]
+                  for n in baseline
+                  if n.startswith(CALIBRATION_PREFIXES) and n in current
+                  and baseline[n] > 0.0]
+        if not ratios:
+            print("error: no calibration benchmarks in common; "
+                  "rerun with --no-calibrate", file=sys.stderr)
+            return 1
+        scale = statistics.median(ratios)
+        print(f"machine-speed scale factor (median over {len(ratios)} "
+              f"calibration benches): {scale:.4f}")
+
+    limit = 1.0 + args.tolerance
+    failed = []
+    print(f"{'benchmark':<40} {'baseline ns':>14} {'current ns':>14} "
+          f"{'ratio':>8}")
+    for name in gated:
+        ratio = current[name] / (baseline[name] * scale)
+        verdict = "ok" if ratio <= limit else "FAIL"
+        print(f"{name:<40} {baseline[name]:>14.0f} {current[name]:>14.0f} "
+              f"{ratio:>8.4f}  {verdict}")
+        if ratio > limit:
+            failed.append(name)
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} benchmark(s) exceed the "
+              f"{args.tolerance:.0%} disabled-instrumentation budget: "
+              + ", ".join(failed), file=sys.stderr)
+        return 1
+    print(f"\nOK: all {len(gated)} gated benchmarks within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
