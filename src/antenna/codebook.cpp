@@ -142,13 +142,23 @@ index_t argmax_score(const std::vector<real>& score) {
 
 /// Top-k indices by descending score. k = 1 skips sorting entirely; larger
 /// k partially sorts the index range — never a full sort of all |V| scores.
+/// Equal scores break by LOWEST codeword index: partial_sort is unstable,
+/// so without the explicit tie-break the order of tied codewords (exact
+/// ties are common — symmetric arrays, rank-deficient estimates, pure-noise
+/// covariances) would be implementation-defined, and the J-th eigen-
+/// directed measurement of the proposed scheme could pick different beams
+/// on different standard libraries or build modes, silently shifting
+/// golden figures (tests/sim/golden_figures_test.cpp).
 std::vector<index_t> top_k_by_score(const std::vector<real>& score,
                                     index_t k) {
   if (k == 1) return {argmax_score(score)};
   std::vector<index_t> order(score.size());
   std::iota(order.begin(), order.end(), index_t{0});
   std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                    [&](index_t a, index_t b) { return score[a] > score[b]; });
+                    [&](index_t a, index_t b) {
+                      return score[a] != score[b] ? score[a] > score[b]
+                                                  : a < b;
+                    });
   order.resize(k);
   return order;
 }

@@ -56,7 +56,11 @@ class Codebook {
 
   /// Indices of the k codewords with the largest cᴴ Q c, descending
   /// (paper §IV-B2, step 3): partial selection, O(|V| log k) after
-  /// scoring, never a full sort. Precondition: 1 ≤ k ≤ size().
+  /// scoring, never a full sort. Exactly tied scores break by lowest
+  /// codeword index, so the ranking is a pure function of the scores —
+  /// independent of standard-library sort internals — which the
+  /// bit-exact determinism contract (DESIGN.md §7) relies on.
+  /// Precondition: 1 ≤ k ≤ size().
   std::vector<index_t> top_k_for_covariance(const linalg::Matrix& q,
                                             index_t k) const;
   std::vector<index_t> top_k_for_covariance(

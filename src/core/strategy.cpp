@@ -203,8 +203,10 @@ void ProposedAlignment::run_with_state(Session& session,
           prior_is_external ? (j_explore + 1) / 2 : j_explore;
       const std::vector<real> scores = rx_cb.covariance_scores(*q_prev);
       std::vector<index_t> order = unmeasured;
+      // Ties break by lowest codeword index (std::sort is unstable); see
+      // top_k_for_covariance — same determinism requirement.
       std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
-        return scores[a] > scores[b];
+        return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
       });
       for (const index_t v : order) {
         if (probes.size() == score_budget || scores[v] <= beam_floor) break;
@@ -324,8 +326,9 @@ void PingPongAlignment::run(Session& session) const {
       std::vector<index_t> order;
       for (index_t i = 0; i < cb.size(); ++i)
         if (usable(i)) order.push_back(i);
+      // Ties break by lowest codeword index, as in ProposedAlignment.
       std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
-        return scores[a] > scores[b];
+        return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
       });
       for (const index_t i : order) {
         if (probes.size() == count || scores[i] <= beam_floor) break;

@@ -60,6 +60,21 @@ void Session::set_blockage_probability(real p) {
   blockage_probability_ = p;
 }
 
+void Session::set_interference(std::vector<real> per_rx_beam_power) {
+  MMW_REQUIRE_MSG(per_rx_beam_power.size() == rx_codebook_->size(),
+                  "interference profile must cover every RX codeword");
+  MMW_REQUIRE_MSG(records_.empty(),
+                  "interference must be configured before training starts");
+  for (const real p : per_rx_beam_power)
+    MMW_REQUIRE_MSG(p >= 0.0, "interference power must be non-negative");
+  interference_ = std::move(per_rx_beam_power);
+}
+
+real Session::interference_power(index_t rx_beam) const {
+  MMW_REQUIRE(rx_beam < rx_codebook_->size());
+  return interference_.empty() ? 0.0 : interference_[rx_beam];
+}
+
 real Session::measure(index_t tx_beam, index_t rx_beam) {
   MMW_REQUIRE_MSG(!exhausted(), "measurement budget exhausted");
   MMW_REQUIRE_MSG(!has_measured(tx_beam, rx_beam),
@@ -70,10 +85,15 @@ real Session::measure(index_t tx_beam, index_t rx_beam) {
   // Blockage shadows the whole measurement slot, not individual fades.
   const bool blocked = blockage_probability_ > 0.0 &&
                        rng_->uniform() < blockage_probability_;
+  // Effective noise floor: thermal 1/γ plus the beam's mean co-channel
+  // interference power (multi-cell runs; 0 otherwise).
+  const real noise_var =
+      1.0 / gamma_ +
+      (interference_.empty() ? 0.0 : interference_[rx_beam]);
   // Average matched-filter energy over the slot's independent fades.
   real energy = 0.0;
   for (index_t k = 0; k < fades_; ++k) {
-    cx z = rng_->complex_normal(1.0 / gamma_);
+    cx z = rng_->complex_normal(noise_var);
     if (!blocked) {
       const linalg::Vector h = link_->draw_effective_channel(u, *rng_);
       z += linalg::dot(v, h);

@@ -78,6 +78,23 @@ class Session {
   void set_blockage_probability(real p);
   real blockage_probability() const { return blockage_probability_; }
 
+  /// Inter-cell interference, folded into the matched-filter noise floor:
+  /// entry v is the mean co-channel interference power seen by RX codeword
+  /// v (linear, same units as the 1/γ noise variance), precomputed by the
+  /// multi-cell engine from the other cells' currently-active TX beams
+  /// (sim/multicell.h). Each fade of a measurement on RX beam v then draws
+  /// its additive term from CN(0, 1/γ + I_v) — interference from many
+  /// unsynchronized co-channel fades is Gaussian to the matched filter, so
+  /// it raises the noise floor beam-selectively without changing how many
+  /// random draws a measurement consumes (the serial/parallel determinism
+  /// contract is untouched).
+  /// Preconditions: size == |V|, entries ≥ 0, set before training starts.
+  void set_interference(std::vector<real> per_rx_beam_power);
+
+  /// Mean interference power on RX beam v (0 when no profile is set).
+  real interference_power(index_t rx_beam) const;
+  bool has_interference() const { return !interference_.empty(); }
+
   /// Performs one measurement and returns the observed energy |z|².
   /// Preconditions: budget not exhausted, indices valid, pair unmeasured.
   real measure(index_t tx_beam, index_t rx_beam);
@@ -98,6 +115,7 @@ class Session {
   index_t budget_;
   index_t fades_;
   real blockage_probability_ = 0.0;
+  std::vector<real> interference_;  ///< per-RX-beam power; empty = none
   randgen::Rng* rng_;
   std::vector<MeasurementRecord> records_;
   std::vector<bool> measured_;  ///< tx_beam·|V| + rx_beam

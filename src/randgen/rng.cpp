@@ -13,17 +13,35 @@ Rng Rng::fork() {
   return Rng(engine_());
 }
 
-Rng Rng::stream(std::uint64_t master_seed, std::uint64_t stream_index) {
-  // SplitMix64 (Steele, Lea & Flood 2014): advance the state by the golden
-  // gamma per stream index, then run the mixing finalizer. The finalizer is
-  // a bijection with strong avalanche, so nearby (seed, index) pairs yield
-  // unrelated engine seeds. Index is offset by 1 so stream 0 of seed s is
-  // not simply seeded with s itself.
-  std::uint64_t z = master_seed + (stream_index + 1) * 0x9E3779B97F4A7C15ULL;
+namespace {
+
+/// SplitMix64 step (Steele, Lea & Flood 2014): advance the state by the
+/// golden gamma scaled by (key+1), then run the mixing finalizer. The
+/// finalizer is a bijection with strong avalanche, so nearby (state, key)
+/// pairs yield unrelated outputs. Key is offset by 1 so key 0 is not a
+/// plain finalization of the state itself.
+std::uint64_t splitmix_step(std::uint64_t state, std::uint64_t key) {
+  std::uint64_t z = state + (key + 1) * 0x9E3779B97F4A7C15ULL;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   z ^= z >> 31;
-  return Rng(z);
+  return z;
+}
+
+}  // namespace
+
+Rng Rng::stream(std::uint64_t master_seed, std::uint64_t stream_index) {
+  return Rng(splitmix_step(master_seed, stream_index));
+}
+
+Rng Rng::stream(std::uint64_t master_seed, std::uint64_t key_a,
+                std::uint64_t key_b, std::uint64_t key_c) {
+  // One chained step per key: each key perturbs the running state through
+  // the full avalanche before the next enters, so (a, b, c) and any
+  // permutation or prefix of it land on unrelated engines. The extra mixing
+  // rounds also keep three-key streams disjoint from single-key ones.
+  return Rng(splitmix_step(
+      splitmix_step(splitmix_step(master_seed, key_a), key_b), key_c));
 }
 
 real Rng::uniform(real lo, real hi) {

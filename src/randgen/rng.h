@@ -30,6 +30,16 @@ class Rng {
   /// drivers bit-exact results independent of thread count (DESIGN.md §7).
   static Rng stream(std::uint64_t master_seed, std::uint64_t stream_index);
 
+  /// Three-key variant for the multi-cell engine: an independent stream per
+  /// (key_a, key_b, key_c) — typically (cell, user, trial) — derived by
+  /// chaining one SplitMix64 finalization per key. Like the single-key
+  /// overload it needs no shared state, so any shard can rebuild any other
+  /// shard's stream; the chaining makes the map injective in practice
+  /// (each step is a bijection of the running state, keys enter one at a
+  /// time), and distinct from every single-key stream of the same seed.
+  static Rng stream(std::uint64_t master_seed, std::uint64_t key_a,
+                    std::uint64_t key_b, std::uint64_t key_c);
+
   /// Uniform real in [lo, hi).
   real uniform(real lo = 0.0, real hi = 1.0);
 

@@ -2,20 +2,11 @@
 
 namespace mmw::sim {
 
-TrialContext make_trial(const Scenario& scenario, randgen::Rng& rng) {
+CodebookPair make_scenario_codebooks(const Scenario& scenario) {
   const antenna::ArrayGeometry tx =
       antenna::ArrayGeometry::upa(scenario.tx_grid_x, scenario.tx_grid_y);
   const antenna::ArrayGeometry rx =
       antenna::ArrayGeometry::upa(scenario.rx_grid_x, scenario.rx_grid_y);
-
-  channel::NycClusterParams nyc = scenario.nyc;
-  nyc.sector = scenario.sector;
-
-  channel::Link link =
-      scenario.channel == ChannelKind::kSinglePath
-          ? channel::make_single_path_link(tx, rx, rng, scenario.sector)
-          : channel::make_nyc_multipath_link(tx, rx, rng, nyc);
-
   auto make_codebook = [&](const antenna::ArrayGeometry& geo) {
     if (scenario.codebook == CodebookKind::kDft)
       return antenna::Codebook::dft(geo);
@@ -24,11 +15,27 @@ TrialContext make_trial(const Scenario& scenario, randgen::Rng& rng) {
         scenario.sector.az_max, scenario.sector.el_min,
         scenario.sector.el_max);
   };
+  return CodebookPair{make_codebook(tx), make_codebook(rx)};
+}
 
-  antenna::Codebook tx_cb = make_codebook(tx);
-  antenna::Codebook rx_cb = make_codebook(rx);
-  core::PairGainOracle oracle(link, tx_cb, rx_cb);
-  return TrialContext{std::move(link), std::move(tx_cb), std::move(rx_cb),
+channel::Link make_scenario_link(const Scenario& scenario,
+                                 randgen::Rng& rng) {
+  const antenna::ArrayGeometry tx =
+      antenna::ArrayGeometry::upa(scenario.tx_grid_x, scenario.tx_grid_y);
+  const antenna::ArrayGeometry rx =
+      antenna::ArrayGeometry::upa(scenario.rx_grid_x, scenario.rx_grid_y);
+  if (scenario.channel == ChannelKind::kSinglePath)
+    return channel::make_single_path_link(tx, rx, rng, scenario.sector);
+  channel::NycClusterParams nyc = scenario.nyc;
+  nyc.sector = scenario.sector;
+  return channel::make_nyc_multipath_link(tx, rx, rng, nyc);
+}
+
+TrialContext make_trial(const Scenario& scenario, randgen::Rng& rng) {
+  channel::Link link = make_scenario_link(scenario, rng);
+  CodebookPair cbs = make_scenario_codebooks(scenario);
+  core::PairGainOracle oracle(link, cbs.tx, cbs.rx);
+  return TrialContext{std::move(link), std::move(cbs.tx), std::move(cbs.rx),
                       std::move(oracle)};
 }
 

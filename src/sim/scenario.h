@@ -87,9 +87,23 @@ struct TrialContext {
   core::PairGainOracle oracle;
 };
 
-/// Draws the trial-specific link and builds codebooks/oracle. Reads only
-/// `scenario` (const) and draws only from `rng`; safe to call concurrently
-/// with distinct Rng objects.
+/// The scenario's TX/RX codebook pair (deterministic — no randomness).
+/// Split out of make_trial so engines that run many links against the same
+/// codebooks (sim/multicell.h) can build them once and share them
+/// read-only across shards.
+struct CodebookPair {
+  antenna::Codebook tx;
+  antenna::Codebook rx;
+};
+CodebookPair make_scenario_codebooks(const Scenario& scenario);
+
+/// Draws one realized link of the scenario's channel kind between the
+/// scenario's arrays. Reads only `scenario` (const) and draws only from
+/// `rng`; safe to call concurrently with distinct Rng objects.
+channel::Link make_scenario_link(const Scenario& scenario, randgen::Rng& rng);
+
+/// Draws the trial-specific link and builds codebooks/oracle. Composes the
+/// two helpers above; same thread-safety contract.
 TrialContext make_trial(const Scenario& scenario, randgen::Rng& rng);
 
 }  // namespace mmw::sim

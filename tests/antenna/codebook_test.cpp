@@ -192,6 +192,42 @@ TEST(QuantizedCodebookTest, BitsValidation) {
   EXPECT_THROW(cb.with_quantized_phases(17), precondition_error);
 }
 
+TEST(CodebookTest, TopKBreaksExactTiesByLowestIndex) {
+  // A zero covariance scores every codeword exactly 0.0 — the fully tied
+  // case. The ranking contract (lowest codeword index first) makes the
+  // result a pure function of the scores instead of partial_sort
+  // internals; the eigen-directed J-th measurement relies on this for
+  // bit-exact determinism.
+  const auto cb = Codebook::dft(ArrayGeometry::upa(4, 4));
+  const Matrix zero(cb.codeword(0).size(), cb.codeword(0).size());
+  const auto top = cb.top_k_for_covariance(zero, cb.size());
+  ASSERT_EQ(top.size(), cb.size());
+  for (index_t i = 0; i < top.size(); ++i) EXPECT_EQ(top[i], i);
+  EXPECT_EQ(cb.best_for_covariance(zero), 0u);
+}
+
+TEST(CodebookTest, FactoredTopKBreaksExactTiesByLowestIndex) {
+  const auto cb = Codebook::dft(ArrayGeometry::upa(4, 4));
+  const auto zero = linalg::FactoredHermitian::from_dense(
+      Matrix(cb.codeword(0).size(), cb.codeword(0).size()));
+  const auto top = cb.top_k_for_covariance(zero, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (index_t i = 0; i < top.size(); ++i) EXPECT_EQ(top[i], i);
+}
+
+TEST(CodebookTest, TopKDeterministicWithPlantedWinner) {
+  // A planted beam strictly wins; the near-zero cross-correlation scores
+  // behind it are not exact ties in floating point, so assert the winner
+  // and call-to-call stability of the full ranking.
+  const auto cb = Codebook::dft(ArrayGeometry::upa(4, 4));
+  const Vector planted = cb.codeword(6);
+  const Matrix q = Matrix::outer(planted, planted) * cx{4.0, 0.0};
+  const auto top = cb.top_k_for_covariance(q, 4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0], 6u);
+  EXPECT_EQ(top, cb.top_k_for_covariance(q, 4));
+}
+
 TEST(CodebookTest, TwoWideWrapHasNoDuplicateNeighbors) {
   const auto cb = Codebook::dft(ArrayGeometry::upa(2, 2));
   for (index_t i = 0; i < cb.size(); ++i) {

@@ -1,0 +1,146 @@
+// MAC-layer invariants across every alignment strategy:
+//  - the measurement ledger never repeats a beam pair, with and without an
+//    interference noise floor (the floor changes measured energies, so a
+//    strategy that picked its next pair from a stale ranking could loop);
+//  - Scan's adjacency raster covers the pair grid exactly once, each step
+//    moving one grid hop in exactly one beam, from any random start.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "channel/models.h"
+#include "core/strategy.h"
+#include "mac/session.h"
+#include "randgen/rng.h"
+
+namespace mmw::core {
+namespace {
+
+struct Fixture {
+  channel::Link link;
+  antenna::Codebook tx;
+  antenna::Codebook rx;
+};
+
+/// Tiny paper-shaped setup: 2×2 TX / 4×4 RX angular-grid codebooks over the
+/// default sector, single-path link. T = 64 pairs keeps full-budget runs of
+/// every strategy fast.
+Fixture make_fixture(std::uint64_t seed) {
+  const auto tx_geo = antenna::ArrayGeometry::upa(2, 2);
+  const auto rx_geo = antenna::ArrayGeometry::upa(4, 4);
+  const channel::AngularSector sector;
+  randgen::Rng rng(seed);
+  channel::Link link = channel::make_single_path_link(tx_geo, rx_geo, rng,
+                                                      sector);
+  auto make_cb = [&](const antenna::ArrayGeometry& geo) {
+    return antenna::Codebook::angular_grid(geo, geo.grid_x(), geo.grid_y(),
+                                           sector.az_min, sector.az_max,
+                                           sector.el_min, sector.el_max);
+  };
+  return Fixture{std::move(link), make_cb(tx_geo), make_cb(rx_geo)};
+}
+
+const std::vector<const AlignmentStrategy*>& all_strategies() {
+  static const RandomSearch random_search;
+  static const ScanSearch scan_search;
+  static const ExhaustiveSearch exhaustive;
+  static const ProposedAlignment proposed;
+  static const HierarchicalSearch hierarchical;
+  static const PingPongAlignment ping_pong;
+  static const LocalSearch local_search;
+  static const std::vector<const AlignmentStrategy*> all{
+      &random_search, &scan_search,  &exhaustive, &proposed,
+      &hierarchical,  &ping_pong,    &local_search};
+  return all;
+}
+
+void expect_no_repeats(const Fixture& f, const AlignmentStrategy& strategy,
+                       index_t budget, bool with_interference,
+                       std::uint64_t seed) {
+  randgen::Rng rng(seed);
+  mac::Session session(f.link, f.tx, f.rx, /*gamma=*/1.0, budget, rng,
+                       /*fades_per_measurement=*/4);
+  if (with_interference) {
+    // A deliberately lopsided floor: strong on even RX beams, none on odd
+    // ones, so rankings under interference differ from the clean run.
+    std::vector<real> floor(f.rx.size(), 0.0);
+    for (index_t v = 0; v < floor.size(); v += 2) floor[v] = 2.0;
+    session.set_interference(floor);
+  }
+  strategy.run(session);
+
+  std::set<std::pair<index_t, index_t>> seen;
+  for (const auto& rec : session.records())
+    EXPECT_TRUE(seen.emplace(rec.tx_beam, rec.rx_beam).second)
+        << strategy.name() << " repeated pair (" << rec.tx_beam << ", "
+        << rec.rx_beam << ")"
+        << (with_interference ? " under interference" : "");
+  EXPECT_LE(session.records().size(), budget);
+}
+
+TEST(MacInvariants, LedgerNeverRepeatsAPair) {
+  const Fixture f = make_fixture(7001);
+  const index_t total = f.tx.size() * f.rx.size();
+  for (const auto* strategy : all_strategies())
+    for (const index_t budget : {total / 4, total})
+      expect_no_repeats(f, *strategy, budget, /*with_interference=*/false,
+                        9000 + budget);
+}
+
+TEST(MacInvariants, LedgerNeverRepeatsAPairUnderInterference) {
+  const Fixture f = make_fixture(7002);
+  const index_t total = f.tx.size() * f.rx.size();
+  for (const auto* strategy : all_strategies())
+    for (const index_t budget : {total / 4, total})
+      expect_no_repeats(f, *strategy, budget, /*with_interference=*/true,
+                        9100 + budget);
+}
+
+/// Scan at full budget is a cyclic walk of the whole pair grid: every pair
+/// exactly once, and every step — except the single seam where the cyclic
+/// traversal wraps from the raster's end back to its start — changes
+/// exactly one of the four grid coordinates (tx_x, tx_y, rx_x, rx_y) by
+/// exactly one hop.
+TEST(MacInvariants, ScanRasterCoversGridOnceWithSingleHopSteps) {
+  const Fixture f = make_fixture(7003);
+  const index_t total = f.tx.size() * f.rx.size();
+  const ScanSearch scan;
+
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    randgen::Rng rng(seed);  // varies the random starting pair
+    mac::Session session(f.link, f.tx, f.rx, 1.0, total, rng, 1);
+    scan.run(session);
+    const auto records = session.records();
+    ASSERT_EQ(records.size(), total);
+
+    std::set<std::pair<index_t, index_t>> seen;
+    for (const auto& rec : records) seen.emplace(rec.tx_beam, rec.rx_beam);
+    EXPECT_EQ(seen.size(), total) << "seed " << seed;
+
+    index_t seams = 0;
+    for (index_t k = 1; k < records.size(); ++k) {
+      const auto [txx0, txy0] = f.tx.coordinates(records[k - 1].tx_beam);
+      const auto [rxx0, rxy0] = f.rx.coordinates(records[k - 1].rx_beam);
+      const auto [txx1, txy1] = f.tx.coordinates(records[k].tx_beam);
+      const auto [rxx1, rxy1] = f.rx.coordinates(records[k].rx_beam);
+      const auto hop = [](index_t a, index_t b) {
+        return a > b ? a - b : b - a;
+      };
+      const index_t moved = hop(txx0, txx1) + hop(txy0, txy1) +
+                            hop(rxx0, rxx1) + hop(rxy0, rxy1);
+      const bool single_hop =
+          moved == 1 && (txx0 != txx1) + (txy0 != txy1) + (rxx0 != rxx1) +
+                                (rxy0 != rxy1) ==
+                            1;
+      if (!single_hop) ++seams;
+    }
+    EXPECT_LE(seams, 1u) << "seed " << seed
+                         << ": raster broke adjacency off the seam";
+  }
+}
+
+}  // namespace
+}  // namespace mmw::core
