@@ -153,6 +153,39 @@ class BenchRun {
   /// enabled) under bench_results/.
   void finish() {
     manifest_.set_wall_seconds(timer_.seconds());
+    // Top-level health indicators (DESIGN.md §11): solver non-convergence,
+    // degradation-ladder fallbacks, and quarantined trials, surfaced so no
+    // one has to dig through the metrics snapshot to spot a degraded run.
+    const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+    const auto counter = [&](const char* name) -> std::uint64_t {
+      const auto it = snap.counters.find(name);
+      return it == snap.counters.end() ? 0 : it->second.value;
+    };
+    const std::uint64_t ml_nonconverged =
+        counter("estimation.ml.nonconverged");
+    const std::uint64_t em_nonconverged =
+        counter("estimation.em.nonconverged");
+    manifest_.add_health("estimation.ml.nonconverged", ml_nonconverged);
+    manifest_.add_health("estimation.em.nonconverged", em_nonconverged);
+    manifest_.add_health("estimation.fallback.em",
+                         counter("estimation.fallback.em"));
+    manifest_.add_health("estimation.fallback.sample",
+                         counter("estimation.fallback.sample"));
+    manifest_.add_health("estimation.fallback.uniform",
+                         counter("estimation.fallback.uniform"));
+    manifest_.add_health("estimation.fallback.stressed",
+                         counter("estimation.fallback.stressed"));
+    manifest_.add_health("sim.trials.quarantined",
+                         counter("sim.trials.quarantined"));
+    if (ml_nonconverged + em_nonconverged > 0)
+      std::fprintf(stderr,
+                   "warning: %llu covariance solve(s) hit the iteration "
+                   "cap without converging (ml=%llu, em=%llu) — see the "
+                   "manifest health section\n",
+                   static_cast<unsigned long long>(ml_nonconverged +
+                                                   em_nonconverged),
+                   static_cast<unsigned long long>(ml_nonconverged),
+                   static_cast<unsigned long long>(em_nonconverged));
     manifest_.capture_metrics();
     std::error_code ec;
     std::filesystem::create_directories("bench_results", ec);

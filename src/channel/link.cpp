@@ -30,6 +30,17 @@ real Link::total_power() const {
   return acc;
 }
 
+Link Link::with_scaled_path_powers(std::span<const real> scale) const {
+  MMW_REQUIRE_MSG(scale.size() == paths_.size(),
+                  "need one power scale per path");
+  Link scaled = *this;
+  for (index_t l = 0; l < paths_.size(); ++l) {
+    MMW_REQUIRE_MSG(scale[l] >= 0.0, "power scale must be non-negative");
+    scaled.paths_[l].power *= scale[l];
+  }
+  return scaled;
+}
+
 Matrix Link::rx_covariance() const {
   Matrix q(n_, n_);
   const real nm = static_cast<real>(n_ * m_);

@@ -3,6 +3,7 @@
 // measurement slot — the paper's channel model (Sec. III-B).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "antenna/geometry.h"
@@ -44,6 +45,13 @@ class Link {
 
   /// Total mean path power Σ_l p_l.
   real total_power() const;
+
+  /// Copy of this link with path l's mean power multiplied by scale[l]
+  /// (large-scale transition on a FIXED geometry: steering vectors and
+  /// array sizes are reused, only the per-path powers change). Used by
+  /// channel::blocked_link to realize a sudden blockage event.
+  /// Preconditions: scale.size() == paths().size(), entries ≥ 0.
+  Link with_scaled_path_powers(std::span<const real> scale) const;
 
   /// Full RX-side spatial covariance Q = E[H Hᴴ] (N×N, Hermitian PSD).
   linalg::Matrix rx_covariance() const;

@@ -10,6 +10,15 @@ real jakes_correlation(real doppler_hz, real step_seconds) {
   return std::cyl_bessel_j(0.0, 2.0 * M_PI * doppler_hz * step_seconds);
 }
 
+Link blocked_link(const Link& link, std::span<const real> per_path_gain) {
+  MMW_REQUIRE_MSG(per_path_gain.size() == link.paths().size(),
+                  "need one blockage gain per path");
+  for (const real g : per_path_gain)
+    MMW_REQUIRE_MSG(g > 0.0 && g <= 1.0,
+                    "blockage gain must be in (0, 1]");
+  return link.with_scaled_path_powers(per_path_gain);
+}
+
 TemporalFader::TemporalFader(const Link& link, real correlation,
                              randgen::Rng& rng)
     : link_(&link), rho_(correlation) {

@@ -14,6 +14,16 @@ namespace mmw::channel {
 /// step interval τ. Preconditions: both non-negative.
 real jakes_correlation(real doppler_hz, real step_seconds);
 
+/// Sudden blockage as a large-scale temporal transition: the post-onset
+/// link is `link` with each path's mean power scaled by
+/// per_path_gain[l] ∈ (0, 1] (1 = unshadowed, small = deeply shadowed).
+/// The AR(1) small-scale model above keeps the covariance stationary; a
+/// blockage event is the complementary NON-stationary jump — the paper's
+/// geometry holds but a blocker suppresses a subset of paths, which is the
+/// regime the fault-injection runtime (src/fault) stresses.
+/// Preconditions: one gain per path, entries in (0, 1].
+Link blocked_link(const Link& link, std::span<const real> per_path_gain);
+
 /// Stateful fader over a Link: holds per-path complex gains that evolve as
 ///   g[t+1] = ρ·g[t] + √(1−ρ²)·w,  w ~ CN(0, p_l),
 /// so every marginal matches the Link's Rayleigh statistics and

@@ -117,27 +117,14 @@ void ProposedAlignment::run_with_state(Session& session,
   // Estimates stay in factored form end-to-end: the solvers return B Q_r Bᴴ
   // and every downstream consumer (codebook scoring, probe ranking) goes
   // through the factor, so the N×N lift happens only for the exported
-  // tracking state. The moment baselines are inherently dense and wrap via
-  // from_dense, which scores bit-identically to the plain dense path.
+  // tracking state. All solves route through the degradation ladder
+  // (estimation/robust.h): with no fault context armed this is
+  // bit-identical to calling the configured estimator directly.
   const auto estimate =
       [&](std::span<const BeamMeasurement> ms) -> FactoredHermitian {
-    switch (options_.estimator_kind) {
-      case EstimatorKind::kSampleCovariance:
-        return FactoredHermitian::from_dense(
-            estimation::sample_covariance_estimate(n, ms, est.gamma));
-      case EstimatorKind::kDiagonalLoading:
-        return FactoredHermitian::from_dense(
-            estimation::diagonal_loading_estimate(n, ms, est.gamma));
-      case EstimatorKind::kEmMl: {
-        estimation::CovarianceEmOptions em;
-        em.gamma = est.gamma;
-        em.mu = est.mu;
-        return estimation::estimate_covariance_em(n, ms, em).q;
-      }
-      case EstimatorKind::kRegularizedMl:
-        break;
-    }
-    return estimation::estimate_covariance_ml(n, ms, est).q;
+    return estimation::robust_estimate_covariance(
+               n, ms, est, options_.estimator_kind)
+        .q;
   };
 
   const index_t j_total =
@@ -369,16 +356,19 @@ void PingPongAlignment::run(Session& session) const {
         ms.push_back({rx_cb.codeword(v), session.measure(*u_idx, v)});
       }
       if (!ms.empty()) {
-        FactoredHermitian q = estimation::estimate_covariance_ml(
-                                  rx_cb.codeword(0).size(), ms, est)
-                                  .q;
+        FactoredHermitian q =
+            estimation::robust_estimate_covariance(
+                rx_cb.codeword(0).size(), ms, est,
+                estimation::EstimatorKind::kRegularizedMl)
+                .q;
         if (!session.exhausted()) {
           for (const index_t v :
                rx_cb.top_k_for_covariance(q, rx_cb.size())) {
             if (!usable_v(v)) continue;
             ms.push_back({rx_cb.codeword(v), session.measure(*u_idx, v)});
-            q = estimation::estimate_covariance_ml(
-                    rx_cb.codeword(0).size(), ms, est)
+            q = estimation::robust_estimate_covariance(
+                    rx_cb.codeword(0).size(), ms, est,
+                    estimation::EstimatorKind::kRegularizedMl)
                     .q;
             break;
           }
@@ -408,16 +398,19 @@ void PingPongAlignment::run(Session& session) const {
         ms.push_back({tx_cb.codeword(u), session.measure(u, *v_idx)});
       }
       if (!ms.empty()) {
-        FactoredHermitian q = estimation::estimate_covariance_ml(
-                                  tx_cb.codeword(0).size(), ms, est)
-                                  .q;
+        FactoredHermitian q =
+            estimation::robust_estimate_covariance(
+                tx_cb.codeword(0).size(), ms, est,
+                estimation::EstimatorKind::kRegularizedMl)
+                .q;
         if (!session.exhausted()) {
           for (const index_t u :
                tx_cb.top_k_for_covariance(q, tx_cb.size())) {
             if (!usable_u(u)) continue;
             ms.push_back({tx_cb.codeword(u), session.measure(u, *v_idx)});
-            q = estimation::estimate_covariance_ml(
-                    tx_cb.codeword(0).size(), ms, est)
+            q = estimation::robust_estimate_covariance(
+                    tx_cb.codeword(0).size(), ms, est,
+                    estimation::EstimatorKind::kRegularizedMl)
                     .q;
             break;
           }

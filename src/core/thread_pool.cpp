@@ -109,10 +109,12 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
     std::mutex m;
     std::condition_variable done;
     index_t pending;
+    index_t error_index;
     std::exception_ptr error;
   };
   auto sync = std::make_shared<Sync>();
   sync->next.store(begin, std::memory_order_relaxed);
+  sync->error_index = end;  // sentinel: no failure recorded
 
   const index_t tasks = std::min<index_t>(thread_count(), end - begin);
   sync->pending = tasks;
@@ -125,8 +127,15 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
       try {
         body(i);
       } catch (...) {
+        // Keep the LOWEST failing index: claims are monotone, so every
+        // index below the first failure is already claimed and runs to
+        // completion — the min-reduction is timing-independent (see the
+        // header's failure-semantics contract).
         std::lock_guard lock(sync->m);
-        if (!sync->error) sync->error = std::current_exception();
+        if (!sync->error || i < sync->error_index) {
+          sync->error = std::current_exception();
+          sync->error_index = i;
+        }
         sync->next.store(end, std::memory_order_relaxed);  // cancel the rest
       }
     }
@@ -143,6 +152,56 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
   std::unique_lock lock(sync->m);
   sync->done.wait(lock, [&] { return sync->pending == 0; });
   if (sync->error) std::rethrow_exception(sync->error);
+}
+
+std::vector<IterationFailure> ThreadPool::parallel_for_quarantined(
+    index_t begin, index_t end, const std::function<void(index_t)>& body) {
+  MMW_REQUIRE(begin <= end);
+  if (begin == end) return {};
+
+  struct Sync {
+    std::atomic<index_t> next;
+    std::mutex m;
+    std::condition_variable done;
+    index_t pending;
+    std::vector<IterationFailure> failures;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->next.store(begin, std::memory_order_relaxed);
+
+  const index_t tasks = std::min<index_t>(thread_count(), end - begin);
+  sync->pending = tasks;
+
+  auto drain = [sync, end, &body] {
+    // Claim indices until the range is exhausted; failures never cancel.
+    for (;;) {
+      const index_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) break;
+      try {
+        body(i);
+      } catch (const std::exception& e) {
+        std::lock_guard lock(sync->m);
+        sync->failures.push_back({i, e.what()});
+      } catch (...) {
+        std::lock_guard lock(sync->m);
+        sync->failures.push_back({i, "unknown exception"});
+      }
+    }
+    std::lock_guard lock(sync->m);
+    if (--sync->pending == 0) sync->done.notify_all();
+  };
+
+  for (index_t i = 1; i < tasks; ++i) submit(drain);
+  drain();
+
+  std::unique_lock lock(sync->m);
+  sync->done.wait(lock, [&] { return sync->pending == 0; });
+  // Capture order is timing-dependent; the sorted list is not.
+  std::sort(sync->failures.begin(), sync->failures.end(),
+            [](const IterationFailure& a, const IterationFailure& b) {
+              return a.index < b.index;
+            });
+  return std::move(sync->failures);
 }
 
 }  // namespace mmw::core

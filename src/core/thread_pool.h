@@ -17,6 +17,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,6 +28,12 @@ namespace mmw::core {
 /// Returns the thread count a knob value of 0 ("auto") resolves to:
 /// std::thread::hardware_concurrency(), clamped to at least 1.
 index_t resolve_thread_count(index_t requested);
+
+/// One captured iteration failure of parallel_for_quarantined.
+struct IterationFailure {
+  index_t index = 0;     ///< the iteration that threw
+  std::string message;   ///< what() of the thrown exception
+};
 
 /// Fixed-size thread pool. Threads are started in the constructor and
 /// joined in the destructor; there is no dynamic resizing.
@@ -57,11 +64,33 @@ class ThreadPool {
   /// Runs body(i) for every i in [begin, end) across the pool and blocks
   /// until all iterations finished. Iterations are claimed dynamically, so
   /// execution order is unspecified; side effects must go to per-index
-  /// storage. The first exception thrown by any iteration is rethrown on
-  /// the calling thread (after all workers stopped touching the range).
-  /// An empty range returns immediately without touching the queue.
+  /// storage. An empty range returns immediately without touching the
+  /// queue.
+  ///
+  /// Failure semantics: the exception rethrown on the calling thread is
+  /// DETERMINISTICALLY the one from the lowest-index failing iteration, so
+  /// failure reports are thread-count invariant. Why this holds: indices
+  /// are claimed in ascending order from one atomic counter, so by the
+  /// time any iteration g fails, every index below g has already been
+  /// claimed and will run to completion before the call returns — the
+  /// lowest failing index is therefore always among the iterations that
+  /// ran, and a min-index reduction over recorded failures picks it
+  /// regardless of timing. The first failure still cancels all
+  /// *unclaimed* iterations (they are above every claimed index, hence
+  /// above the minimum, and cannot affect it).
   void parallel_for(index_t begin, index_t end,
                     const std::function<void(index_t)>& body);
+
+  /// Quarantine variant: every iteration runs regardless of other
+  /// iterations' failures; a throwing iteration is captured — never
+  /// rethrown — and reported in the returned list, sorted by index. The
+  /// set of failures is a pure function of `body` (no cancellation, no
+  /// timing dependence), which is what lets the Monte-Carlo drivers
+  /// exclude poisoned trials identically at any thread count
+  /// (DESIGN.md §11).
+  std::vector<IterationFailure> parallel_for_quarantined(
+      index_t begin, index_t end,
+      const std::function<void(index_t)>& body);
 
  private:
   /// `ordinal` is the 1-based worker index, reported to obs as the thread

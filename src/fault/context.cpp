@@ -1,0 +1,20 @@
+#include "fault/context.h"
+
+namespace mmw::fault {
+
+namespace {
+
+thread_local TrialFaultState* g_current = nullptr;
+
+}  // namespace
+
+ScopedTrialFaults::ScopedTrialFaults(TrialFaultState& state)
+    : previous_(g_current) {
+  g_current = &state;
+}
+
+ScopedTrialFaults::~ScopedTrialFaults() { g_current = previous_; }
+
+TrialFaultState* current_trial_faults() { return g_current; }
+
+}  // namespace mmw::fault

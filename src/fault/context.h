@@ -1,0 +1,52 @@
+// Per-trial fault context: the channel by which the degradation ladder
+// (estimation/robust.h) learns that fault injection is armed for the
+// strategy run currently on this thread, without threading a fault handle
+// through every strategy/estimator signature.
+//
+// The context is a thread-local pointer armed RAII-style by the
+// Monte-Carlo drivers around each strategy run. A strategy run is
+// single-threaded (mac::Session contract), so thread-local scoping is
+// exact: concurrent trials on other threads each see their own context,
+// and clean runs see none — robust_estimate_covariance treats a null
+// context as "faults disabled" and is then bit-identical to the direct
+// estimator calls (the golden-figure contract).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fault/fault.h"
+
+namespace mmw::fault {
+
+/// Mutable state of one (trial, strategy) run under fault injection.
+struct TrialFaultState {
+  const FaultPlan* plan = nullptr;  ///< borrowed; may be null (quarantine-only)
+
+  /// Covariance solves consumed so far — the index into the plan's
+  /// stressed-solve schedule. Advanced by robust_estimate_covariance.
+  index_t solves = 0;
+  std::uint64_t stressed_solves = 0;  ///< solves hit by forced stress
+
+  /// Final-rung histogram over this run's solves, indexed by
+  /// estimation::SolveRung (0 = primary succeeded, then em/sample/uniform).
+  std::array<std::uint64_t, 4> rung_counts{};
+};
+
+/// Arms `state` as the current thread's fault context for its lifetime,
+/// restoring the previous context (usually none) on destruction.
+class ScopedTrialFaults {
+ public:
+  explicit ScopedTrialFaults(TrialFaultState& state);
+  ~ScopedTrialFaults();
+  ScopedTrialFaults(const ScopedTrialFaults&) = delete;
+  ScopedTrialFaults& operator=(const ScopedTrialFaults&) = delete;
+
+ private:
+  TrialFaultState* previous_;
+};
+
+/// The fault context armed on this thread, or nullptr when none is.
+TrialFaultState* current_trial_faults();
+
+}  // namespace mmw::fault

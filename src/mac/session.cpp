@@ -12,10 +12,22 @@ namespace {
 struct SessionMetrics {
   obs::Counter measurements;
   obs::Counter blocked;
+  obs::Counter dropped;
+  obs::Counter outliers;
+  obs::Counter realign_checks;
+  obs::Counter realign_outages;
+  obs::Counter realign_recoveries;
+  obs::Counter realign_slots;
   static const SessionMetrics& get() {
     static const SessionMetrics m{
         obs::Registry::global().counter("mac.session.measurements"),
         obs::Registry::global().counter("mac.session.blocked"),
+        obs::Registry::global().counter("mac.session.dropped"),
+        obs::Registry::global().counter("mac.session.outliers"),
+        obs::Registry::global().counter("mac.session.realign.checks"),
+        obs::Registry::global().counter("mac.session.realign.outages"),
+        obs::Registry::global().counter("mac.session.realign.recoveries"),
+        obs::Registry::global().counter("mac.session.realign.slots"),
     };
     return m;
   }
@@ -75,14 +87,33 @@ real Session::interference_power(index_t rx_beam) const {
   return interference_.empty() ? 0.0 : interference_[rx_beam];
 }
 
-real Session::measure(index_t tx_beam, index_t rx_beam) {
-  MMW_REQUIRE_MSG(!exhausted(), "measurement budget exhausted");
-  MMW_REQUIRE_MSG(!has_measured(tx_beam, rx_beam),
-                  "beam pair measured twice");
+void Session::arm_faults(const fault::FaultPlan* plan,
+                         const channel::Link* degraded_link) {
+  MMW_REQUIRE_MSG(records_.empty(),
+                  "faults must be armed before training starts");
+  if (plan != nullptr && plan->has_blockage()) {
+    MMW_REQUIRE_MSG(degraded_link != nullptr,
+                    "a blockage plan needs the post-onset degraded link");
+    MMW_REQUIRE_MSG(degraded_link->tx_size() == link_->tx_size() &&
+                        degraded_link->rx_size() == link_->rx_size(),
+                    "degraded link must match the clean link's array sizes");
+  }
+  fault_plan_ = plan;
+  degraded_link_ = degraded_link;
+}
 
+real Session::probe_energy(index_t tx_beam, index_t rx_beam, index_t fades,
+                           index_t slot) {
   const linalg::Vector& u = tx_codebook_->codeword(tx_beam);
   const linalg::Vector& v = rx_codebook_->codeword(rx_beam);
-  // Blockage shadows the whole measurement slot, not individual fades.
+  // A blockage event is a large-scale transition: once active, every probe
+  // (training or recovery) sees the degraded link until the session ends.
+  const channel::Link* link =
+      (fault_plan_ != nullptr && fault_plan_->has_blockage() &&
+       fault_plan_->blockage_active(slot))
+          ? degraded_link_
+          : link_;
+  // Bernoulli blockage shadows the whole slot, not individual fades.
   const bool blocked = blockage_probability_ > 0.0 &&
                        rng_->uniform() < blockage_probability_;
   // Effective noise floor: thermal 1/γ plus the beam's mean co-channel
@@ -92,23 +123,42 @@ real Session::measure(index_t tx_beam, index_t rx_beam) {
       (interference_.empty() ? 0.0 : interference_[rx_beam]);
   // Average matched-filter energy over the slot's independent fades.
   real energy = 0.0;
-  for (index_t k = 0; k < fades_; ++k) {
+  for (index_t k = 0; k < fades; ++k) {
     cx z = rng_->complex_normal(noise_var);
     if (!blocked) {
-      const linalg::Vector h = link_->draw_effective_channel(u, *rng_);
+      const linalg::Vector h = link->draw_effective_channel(u, *rng_);
       z += linalg::dot(v, h);
     }
     energy += std::norm(z);
   }
-  energy /= static_cast<real>(fades_);
+  if (blocked && obs::enabled()) SessionMetrics::get().blocked.add();
+  return energy / static_cast<real>(fades);
+}
+
+real Session::measure(index_t tx_beam, index_t rx_beam) {
+  MMW_REQUIRE_MSG(!exhausted(), "measurement budget exhausted");
+  MMW_REQUIRE_MSG(!has_measured(tx_beam, rx_beam),
+                  "beam pair measured twice");
+
+  const index_t slot = records_.size();
+  const fault::SlotFault slot_fault =
+      fault_plan_ != nullptr ? fault_plan_->slot(slot) : fault::SlotFault{};
+  real energy = 0.0;
+  if (slot_fault.dropped) {
+    // Control-channel loss: the slot is spent and nothing is observed. No
+    // random draws are consumed, so the sequence of draws for the
+    // remaining slots is exactly the clean run's (determinism contract).
+    if (obs::enabled()) SessionMetrics::get().dropped.add();
+  } else {
+    energy = probe_energy(tx_beam, rx_beam, fades_, slot) *
+             slot_fault.energy_scale;
+    if (slot_fault.energy_scale != 1.0 && obs::enabled())
+      SessionMetrics::get().outliers.add();
+  }
 
   measured_[tx_beam * rx_codebook_->size() + rx_beam] = true;
   records_.push_back({tx_beam, rx_beam, energy});
-  if (obs::enabled()) {
-    const SessionMetrics& m = SessionMetrics::get();
-    m.measurements.add();
-    if (blocked) m.blocked.add();
-  }
+  if (obs::enabled()) SessionMetrics::get().measurements.add();
   return energy;
 }
 
@@ -119,6 +169,85 @@ std::optional<MeasurementRecord> Session::best_measured() const {
                               const MeasurementRecord& b) {
                              return a.energy < b.energy;
                            });
+}
+
+Session::RealignmentReport Session::verify_and_realign() {
+  return verify_and_realign(RealignmentPolicy{});
+}
+
+Session::RealignmentReport Session::verify_and_realign(
+    const RealignmentPolicy& policy) {
+  MMW_REQUIRE_MSG(policy.verify_fades > 0,
+                  "verification needs at least one fade");
+  MMW_REQUIRE_MSG(policy.collapse_db > 0.0,
+                  "collapse threshold must be positive dB");
+  RealignmentReport report;
+  const std::optional<MeasurementRecord> best = best_measured();
+  if (!best) return report;
+
+  // Recovery probes occupy slot indices past the training schedule, so the
+  // per-slot fault schedule (sized to the budget) never applies to them;
+  // a blockage event, being a persistent large-scale state, still does.
+  auto probe = [&](index_t tx_beam, index_t rx_beam) {
+    const index_t slot = budget_ + recovery_records_.size();
+    const real e = probe_energy(tx_beam, rx_beam, policy.verify_fades, slot);
+    recovery_records_.push_back({tx_beam, rx_beam, e});
+    if (obs::enabled()) SessionMetrics::get().realign_slots.add();
+    return e;
+  };
+
+  if (obs::enabled()) SessionMetrics::get().realign_checks.add();
+  const real threshold =
+      best->energy * std::pow(10.0, -policy.collapse_db / 10.0);
+  real best_energy = probe(best->tx_beam, best->rx_beam);
+  index_t best_tx = best->tx_beam;
+  index_t best_rx = best->rx_beam;
+  if (best_energy < threshold) {
+    report.outage = true;
+    if (obs::enabled()) SessionMetrics::get().realign_outages.add();
+    // Widened-beam fallback: retry r sweeps the Chebyshev window of radius
+    // r·widen_radius around the claimed pair — first the TX ring against
+    // the claimed RX beam, then the RX window against the claimed TX beam.
+    // Codeword indices wrap (the codebooks tile the angular domain).
+    const index_t n_tx = tx_codebook_->size();
+    const index_t n_rx = rx_codebook_->size();
+    std::vector<bool> probed(n_tx * n_rx, false);
+    probed[best->tx_beam * n_rx + best->rx_beam] = true;
+    auto try_pair = [&](index_t tx_beam, index_t rx_beam) {
+      if (probed[tx_beam * n_rx + rx_beam]) return false;
+      probed[tx_beam * n_rx + rx_beam] = true;
+      const real e = probe(tx_beam, rx_beam);
+      if (e > best_energy) {
+        best_energy = e;
+        best_tx = tx_beam;
+        best_rx = rx_beam;
+      }
+      return e >= threshold;
+    };
+    auto wrap = [](index_t center, long long offset, index_t size) {
+      const long long s = static_cast<long long>(size);
+      const long long i = (static_cast<long long>(center) + offset % s + s) % s;
+      return static_cast<index_t>(i);
+    };
+    for (index_t retry = 1;
+         retry <= policy.max_retries && !report.recovered; ++retry) {
+      const long long radius =
+          static_cast<long long>(retry * policy.widen_radius);
+      for (long long off = -radius;
+           off <= radius && !report.recovered; ++off) {
+        if (try_pair(wrap(best->tx_beam, off, n_tx), best->rx_beam) ||
+            try_pair(best->tx_beam, wrap(best->rx_beam, off, n_rx)))
+          report.recovered = true;
+      }
+    }
+    if (report.recovered && obs::enabled())
+      SessionMetrics::get().realign_recoveries.add();
+  }
+
+  report.tx_beam = best_tx;
+  report.rx_beam = best_rx;
+  report.energy = best_energy;
+  return report;
 }
 
 }  // namespace mmw::mac

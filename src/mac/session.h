@@ -22,6 +22,7 @@
 
 #include "antenna/codebook.h"
 #include "channel/link.h"
+#include "fault/fault.h"
 #include "randgen/rng.h"
 
 namespace mmw::mac {
@@ -95,6 +96,19 @@ class Session {
   real interference_power(index_t rx_beam) const;
   bool has_interference() const { return !interference_.empty(); }
 
+  /// Arms deterministic fault injection (DESIGN.md §11): slot drops and
+  /// energy outliers follow `plan`'s schedule keyed by the slot index, and
+  /// from the plan's blockage onset onwards measurements draw their signal
+  /// from `degraded_link` instead of the clean link. Both pointers are
+  /// BORROWED for the session's lifetime; `degraded_link` is required
+  /// exactly when the plan has a blockage event and must share the clean
+  /// link's array sizes. Must be armed before training starts. A dropped
+  /// slot consumes NO random draws; every other fault leaves the draw
+  /// sequence untouched, so the determinism contract is preserved.
+  void arm_faults(const fault::FaultPlan* plan,
+                  const channel::Link* degraded_link);
+  bool faults_armed() const { return fault_plan_ != nullptr; }
+
   /// Performs one measurement and returns the observed energy |z|².
   /// Preconditions: budget not exhausted, indices valid, pair unmeasured.
   real measure(index_t tx_beam, index_t rx_beam);
@@ -107,7 +121,54 @@ class Session {
   /// nothing has been measured.
   std::optional<MeasurementRecord> best_measured() const;
 
+  /// Post-alignment verification / re-alignment policy (DESIGN.md §11).
+  struct RealignmentPolicy {
+    /// Independent fades averaged per verification/recovery probe.
+    index_t verify_fades = 4;
+    /// Outage declaration: the verified energy of the claimed pair fell
+    /// this many dB below its trained energy (SNR collapse — blockage).
+    real collapse_db = 10.0;
+    /// Bounded retry rounds after an outage; round r probes the widened
+    /// neighborhood of Chebyshev radius r·widen_radius.
+    index_t max_retries = 2;
+    index_t widen_radius = 1;
+  };
+
+  struct RealignmentReport {
+    bool outage = false;     ///< verified energy collapsed below threshold
+    bool recovered = false;  ///< a recovery probe restored energy above it
+    index_t tx_beam = 0;     ///< final claimed pair (post-recovery)
+    index_t rx_beam = 0;
+    real energy = 0.0;       ///< verified energy of the final pair
+  };
+
+  /// Verifies the claimed best pair with fresh fades and, on SNR collapse
+  /// (mid-alignment blockage), retries with a widened-beam fallback: each
+  /// retry probes the union of codewords in a growing Chebyshev window
+  /// around the claimed pair (TX ring × claimed RX plus claimed TX × RX
+  /// window), keeping the best energy seen; it stops early when a probe
+  /// clears the collapse threshold. All probes are charged to the separate
+  /// recovery ledger (recovery_slots()), NOT to the training budget or
+  /// records() — prefix grading of the training trajectory is untouched,
+  /// and cost metrics add recovery_slots() explicitly (bench E8). Returns
+  /// the best pair found (best-effort even when recovery fails); a session
+  /// with no measurements reports a default (no-outage) record.
+  RealignmentReport verify_and_realign(const RealignmentPolicy& policy);
+  RealignmentReport verify_and_realign();  ///< default policy
+
+  /// Recovery/verification probes taken by verify_and_realign, in order.
+  const std::vector<MeasurementRecord>& recovery_records() const {
+    return recovery_records_;
+  }
+  /// Extra measurement slots spent on verification and recovery.
+  index_t recovery_slots() const { return recovery_records_.size(); }
+
  private:
+  /// Shared measurement chain of measure() and the recovery probes:
+  /// `slot` indexes the fault plan (training slot or post-training
+  /// recovery slot) and selects the clean or post-onset-degraded link.
+  real probe_energy(index_t tx_beam, index_t rx_beam, index_t fades,
+                    index_t slot);
   const channel::Link* link_;
   const antenna::Codebook* tx_codebook_;
   const antenna::Codebook* rx_codebook_;
@@ -116,8 +177,11 @@ class Session {
   index_t fades_;
   real blockage_probability_ = 0.0;
   std::vector<real> interference_;  ///< per-RX-beam power; empty = none
+  const fault::FaultPlan* fault_plan_ = nullptr;    ///< borrowed; may be null
+  const channel::Link* degraded_link_ = nullptr;    ///< borrowed; may be null
   randgen::Rng* rng_;
   std::vector<MeasurementRecord> records_;
+  std::vector<MeasurementRecord> recovery_records_;
   std::vector<bool> measured_;  ///< tx_beam·|V| + rx_beam
 };
 

@@ -38,6 +38,10 @@ void RunManifest::add_config(std::string key, bool value) {
   config_.emplace_back(std::move(key), value ? "true" : "false");
 }
 
+void RunManifest::add_health(std::string key, std::uint64_t value) {
+  health_.emplace_back(std::move(key), value);
+}
+
 std::string RunManifest::to_json() const {
   JsonWriter w;
   w.begin_object();
@@ -73,6 +77,13 @@ std::string RunManifest::to_json() const {
   w.end_object();
   w.key("wall_seconds");
   w.number(wall_seconds_);
+  w.key("health");
+  w.begin_object();
+  for (const auto& [key, value] : health_) {
+    w.key(key);
+    w.number(value);
+  }
+  w.end_object();
   w.key("metrics");
   if (metrics_json_.empty())
     w.null();

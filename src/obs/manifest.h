@@ -25,12 +25,19 @@ class RunManifest {
 
   void set_wall_seconds(double s) { wall_seconds_ = s; }
 
+  /// Adds one top-level health indicator (solver non-convergence totals,
+  /// fallback counts, quarantined trials — DESIGN.md §11). Health entries
+  /// are surfaced at the document's top level so a reader never has to dig
+  /// through the full metrics snapshot to judge whether a run degraded.
+  void add_health(std::string key, std::uint64_t value);
+
   /// Captures Registry::global()'s current merged state into the manifest.
   void capture_metrics() { metrics_json_ = Registry::global().snapshot().to_json(); }
 
   /// Renders the manifest document:
   ///   {"schema": "mmw.run_manifest/1", "name": ..., "build": {...},
-  ///    "config": {...}, "wall_seconds": ..., "metrics": {...}}
+  ///    "config": {...}, "wall_seconds": ..., "health": {...},
+  ///    "metrics": {...}}
   std::string to_json() const;
 
  private:
@@ -38,6 +45,7 @@ class RunManifest {
   /// (key, pre-rendered JSON value) — rendering happens in add_config so
   /// heterogeneous types need no variant.
   std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::uint64_t>> health_;
   double wall_seconds_ = 0.0;
   std::string metrics_json_;
 };

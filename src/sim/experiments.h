@@ -25,6 +25,10 @@ namespace mmw::sim {
 struct EffectivenessResult {
   std::vector<real> search_rates;  ///< fractions of T, ascending
   std::map<std::string, std::vector<Summary>> loss_db;
+  /// Trials excluded from every summary because a strategy threw while the
+  /// scenario ran with faults.quarantine_trials set (ascending, empty
+  /// otherwise). The same set is excluded at every thread count.
+  std::vector<index_t> quarantined_trials;
 };
 
 /// Runs every strategy once per trial with the largest budget and grades
@@ -43,6 +47,8 @@ EffectivenessResult run_search_effectiveness(
 struct CostEfficiencyResult {
   std::vector<real> target_loss_db;  ///< descending in difficulty
   std::map<std::string, std::vector<Summary>> required_rate;
+  /// See EffectivenessResult::quarantined_trials.
+  std::vector<index_t> quarantined_trials;
 };
 
 CostEfficiencyResult run_cost_efficiency(

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
+#include <optional>
 #include <sstream>
 
+#include "channel/temporal.h"
 #include "core/thread_pool.h"
+#include "fault/context.h"
 #include "linalg/decompositions.h"
 #include "linalg/factored.h"
 #include "obs/clock.h"
@@ -192,6 +196,21 @@ MultiCellResult run_multicell(
         mean_interference /= static_cast<real>(interference.size());
       }
 
+      // Fault plan for this (cell, user, trial): entity key
+      // cell·users + user of the reserved fault range, so enabling faults
+      // perturbs no serving/cross/beam stream and each user fails
+      // independently of cell count and thread count.
+      std::optional<fault::FaultPlan> plan;
+      std::optional<channel::Link> degraded;
+      if (sc.faults.any()) {
+        randgen::Rng fault_rng = fault::fault_stream(
+            sc.seed, static_cast<std::uint64_t>(cell) * users + user, trial);
+        plan.emplace(fault::FaultPlan::draw(sc.faults, budget,
+                                            link.paths().size(), fault_rng));
+        if (plan->has_blockage())
+          degraded = channel::blocked_link(link, plan->path_power_scale());
+      }
+
       const core::PairGainOracle oracle(link, cbs.tx, cbs.rx);
       UserOutcome out;
       out.interference_over_noise_db =
@@ -203,6 +222,13 @@ MultiCellResult run_multicell(
         mac::Session session(link, cbs.tx, cbs.rx, sc.gamma, budget,
                              run_rng, sc.fades_per_measurement);
         if (interfering) session.set_interference(interference);
+        fault::TrialFaultState fault_state;
+        std::optional<fault::ScopedTrialFaults> fault_guard;
+        if (plan) {
+          session.arm_faults(&*plan, degraded ? &*degraded : nullptr);
+          fault_state.plan = &*plan;
+          fault_guard.emplace(fault_state);
+        }
         strategy->run(session);
         const index_t graded = std::min<index_t>(
             grade_budget, session.records().size());
@@ -231,18 +257,48 @@ MultiCellResult run_multicell(
 
   const index_t threads =
       std::min(core::resolve_thread_count(sc.threads), n_shards);
-  if (threads <= 1) {
-    for (index_t s = 0; s < n_shards; ++s) run_shard(s);
+  std::vector<index_t> quarantined;
+  if (!sc.faults.quarantine_trials) {
+    if (threads <= 1) {
+      for (index_t s = 0; s < n_shards; ++s) run_shard(s);
+    } else {
+      core::ThreadPool pool(threads);
+      pool.parallel_for(0, n_shards, [&](index_t s) { run_shard(s); });
+    }
+  } else if (threads <= 1) {
+    for (index_t s = 0; s < n_shards; ++s) {
+      try {
+        run_shard(s);
+      } catch (...) {  // parity with parallel_for_quarantined's net
+        quarantined.push_back(s);
+      }
+    }
   } else {
     core::ThreadPool pool(threads);
-    pool.parallel_for(0, n_shards, [&](index_t s) { run_shard(s); });
+    for (const core::IterationFailure& f : pool.parallel_for_quarantined(
+             0, n_shards, [&](index_t s) { run_shard(s); }))
+      quarantined.push_back(f.index);
   }
+  if (!quarantined.empty()) {
+    static const obs::Counter quarantined_counter =
+        obs::Registry::global().counter("sim.multicell.shards_quarantined");
+    if (obs::enabled()) quarantined_counter.add(quarantined.size());
+    std::cerr << "[sim] quarantined " << quarantined.size() << "/"
+              << n_shards << " multicell shards after in-shard failures\n";
+  }
+  MMW_REQUIRE_MSG(quarantined.size() < n_shards,
+                  "every shard was quarantined — nothing to summarize");
 
   // Reduce in shard-index order: parallel output == serial output.
+  // Quarantined shards hold partial data and are skipped identically at
+  // every thread count (the set is a function of the seed alone).
+  std::vector<bool> skip(n_shards, false);
+  for (const index_t s : quarantined) skip[s] = true;
   std::vector<std::vector<real>> loss(strategies.size());
   std::vector<std::vector<real>> rate(strategies.size());
   std::vector<real> inr_db;
   for (index_t s = 0; s < n_shards; ++s) {
+    if (skip[s]) continue;
     for (const UserOutcome& out : per_shard[s]) {
       for (index_t k = 0; k < strategies.size(); ++k) {
         loss[k].push_back(out.loss_db[k]);
@@ -254,7 +310,8 @@ MultiCellResult run_multicell(
 
   MultiCellResult result;
   result.cells = n_cells;
-  result.sessions_per_strategy = n_shards * users;
+  result.sessions_per_strategy = (n_shards - quarantined.size()) * users;
+  result.quarantined_shards = std::move(quarantined);
   for (index_t k = 0; k < strategies.size(); ++k) {
     const std::string name(strategies[k]->name());
     result.loss_db.emplace(name, summarize(loss[k]));

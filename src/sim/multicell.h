@@ -72,6 +72,11 @@ struct MultiCellResult {
   /// Ī averages I_v over the RX codebook — one sample per (cell, user,
   /// trial), identical for every strategy.
   Summary interference_over_noise_db;
+  /// (cell × trial) shards excluded from every summary because a session
+  /// threw while scenario.faults.quarantine_trials was set (ascending,
+  /// empty otherwise; shard = trial·n_cells + cell). The same set is
+  /// excluded at every thread count.
+  std::vector<index_t> quarantined_shards;
 };
 
 /// Runs every strategy through every (cell, user, trial) session under the

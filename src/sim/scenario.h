@@ -13,6 +13,7 @@
 #include "antenna/codebook.h"
 #include "channel/models.h"
 #include "core/oracle.h"
+#include "fault/fault.h"
 #include "mac/session.h"
 
 namespace mmw::sim {
@@ -72,6 +73,14 @@ struct Scenario {
   /// (no pool constructed). Any value yields identical results — this knob
   /// only trades wall-clock for cores.
   index_t threads = 0;
+
+  /// Deterministic fault injection (DESIGN.md §11). Default-constructed =
+  /// all faults off, in which case the drivers take the exact code path
+  /// they took before the fault runtime existed (bit-identical outputs).
+  /// Trial t draws its plan from the reserved fault key range
+  /// (fault::fault_stream), never from the trial's measurement stream, so
+  /// enabling one fault type does not shift any other randomness.
+  fault::FaultConfig faults;
 
   index_t total_pairs() const {
     return tx_grid_x * tx_grid_y * rx_grid_x * rx_grid_y;

@@ -68,6 +68,49 @@ TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
   EXPECT_EQ(done.load(), 8);
 }
 
+TEST(ThreadPoolTest, LowestIndexFailureWinsDeterministically) {
+  // Many iterations fail; the rethrown exception must always be the one
+  // from the LOWEST failing index, regardless of thread scheduling.
+  ThreadPool pool(8);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(0, 400, [&](index_t i) {
+        if (i % 7 == 3)  // 3, 10, 17, ... — lowest is 3
+          throw std::runtime_error("fail@" + std::to_string(i));
+      });
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail@3");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, QuarantineCollectsEveryFailureSorted) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  const std::vector<IterationFailure> failures =
+      pool.parallel_for_quarantined(0, 100, [&](index_t i) {
+        hits[i].fetch_add(1);
+        if (i % 10 == 5) throw std::runtime_error("bad " + std::to_string(i));
+      });
+  // No cancellation: every index ran exactly once.
+  for (index_t i = 0; i < 100; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  ASSERT_EQ(failures.size(), 10u);
+  for (index_t k = 0; k < failures.size(); ++k) {
+    EXPECT_EQ(failures[k].index, 10 * k + 5);
+    EXPECT_EQ(failures[k].message, "bad " + std::to_string(10 * k + 5));
+  }
+}
+
+TEST(ThreadPoolTest, QuarantineEmptyWhenNothingThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  const auto failures = pool.parallel_for_quarantined(
+      0, 32, [&](index_t) { done.fetch_add(1); });
+  EXPECT_TRUE(failures.empty());
+  EXPECT_EQ(done.load(), 32);
+}
+
 TEST(ThreadPoolTest, SequentialParallelForsReuseTheSamePool) {
   ThreadPool pool(3);
   std::atomic<index_t> total{0};

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "channel/models.h"
+#include "channel/temporal.h"
 
 namespace mmw::mac {
 namespace {
@@ -208,6 +209,134 @@ TEST(SessionTest, FadesPerMeasurementAccessor) {
   Session s = f.session(10.0, 4, 8);
   EXPECT_EQ(s.fades_per_measurement(), 8u);
   EXPECT_NEAR(s.gamma(), 10.0, 1e-12);
+}
+
+TEST(SessionFaultTest, ArmFaultsValidation) {
+  Fixture f;
+  const fault::FaultPlan plan;  // clean plan
+  {
+    Session s = f.session();
+    s.measure(0, 0);
+    EXPECT_THROW(s.arm_faults(&plan, nullptr), precondition_error);
+  }
+  {
+    // A plan with a blockage event requires the degraded link.
+    const fault::FaultPlan blocked = fault::FaultPlan::scripted(
+        {}, /*blockage_onset=*/0, {0.1}, {});
+    Session s = f.session();
+    EXPECT_THROW(s.arm_faults(&blocked, nullptr), precondition_error);
+  }
+}
+
+TEST(SessionFaultTest, DroppedSlotRecordsZeroAndConsumesNoDraws) {
+  Fixture f;
+  std::vector<fault::SlotFault> slots(3);
+  slots[0].dropped = true;
+  const fault::FaultPlan plan =
+      fault::FaultPlan::scripted(slots, ~index_t{0}, {}, {});
+
+  Rng rng_a{99}, rng_b{99};
+  Session a(f.link, f.tx_cb, f.rx_cb, 10.0, 8, rng_a, 2);
+  a.arm_faults(&plan, nullptr);
+  Session b(f.link, f.tx_cb, f.rx_cb, 10.0, 8, rng_b, 2);
+
+  EXPECT_EQ(a.measure(0, 0), 0.0);  // dropped: zero energy recorded
+  ASSERT_EQ(a.records().size(), 1u);
+  EXPECT_EQ(a.records()[0].energy, 0.0);
+  // The dropped slot consumed NO draws, so a's next measurement sees the
+  // same rng state b starts with — identical energies for the same pair.
+  EXPECT_EQ(a.measure(0, 1), b.measure(0, 1));
+}
+
+TEST(SessionFaultTest, OutlierScalesRecordedEnergyExactly) {
+  Fixture f;
+  std::vector<fault::SlotFault> slots(2);
+  slots[0].energy_scale = 25.0;
+  const fault::FaultPlan plan =
+      fault::FaultPlan::scripted(slots, ~index_t{0}, {}, {});
+
+  Rng rng_a{5}, rng_b{5};
+  Session a(f.link, f.tx_cb, f.rx_cb, 10.0, 8, rng_a, 4);
+  a.arm_faults(&plan, nullptr);
+  Session b(f.link, f.tx_cb, f.rx_cb, 10.0, 8, rng_b, 4);
+  EXPECT_EQ(a.measure(1, 2), 25.0 * b.measure(1, 2));
+}
+
+TEST(SessionFaultTest, BlockageOnsetSwitchesToDegradedLink) {
+  Fixture f;
+  const std::vector<real> scale{0.05};
+  const channel::Link degraded = channel::blocked_link(f.link, scale);
+  // Onset 0: every measurement sees the degraded link. The armed session
+  // on the CLEAN link must reproduce an unarmed session on the degraded
+  // link draw-for-draw.
+  const fault::FaultPlan plan =
+      fault::FaultPlan::scripted({}, /*blockage_onset=*/0, {0.05}, {});
+
+  Rng rng_a{17}, rng_b{17};
+  Session a(f.link, f.tx_cb, f.rx_cb, 10.0, 8, rng_a, 4);
+  a.arm_faults(&plan, &degraded);
+  Session b(degraded, f.tx_cb, f.rx_cb, 10.0, 8, rng_b, 4);
+  EXPECT_EQ(a.measure(0, 0), b.measure(0, 0));
+  EXPECT_EQ(a.measure(2, 7), b.measure(2, 7));
+}
+
+TEST(SessionRealignTest, EmptySessionReportsNoOutage) {
+  Fixture f;
+  Session s = f.session();
+  const auto report = s.verify_and_realign();
+  EXPECT_FALSE(report.outage);
+  EXPECT_FALSE(report.recovered);
+  EXPECT_EQ(s.recovery_slots(), 0u);
+}
+
+TEST(SessionRealignTest, CleanVerificationSpendsOneSlot) {
+  Fixture f;
+  Session s = f.session(/*gamma=*/50.0, /*budget=*/16, /*fades=*/8);
+  for (index_t t = 0; t < 4; ++t)
+    for (index_t r = 0; r < 4; ++r) s.measure(t, r);
+  const index_t trained = s.records().size();
+  Session::RealignmentPolicy policy;
+  policy.verify_fades = 16;
+  const auto report = s.verify_and_realign(policy);
+  // A static link cannot collapse: the claimed pair re-verifies.
+  EXPECT_FALSE(report.outage);
+  EXPECT_EQ(report.tx_beam, s.best_measured()->tx_beam);
+  EXPECT_EQ(report.rx_beam, s.best_measured()->rx_beam);
+  EXPECT_EQ(s.recovery_slots(), 1u);
+  // Training ledger untouched: prefix grading still sees only training.
+  EXPECT_EQ(s.records().size(), trained);
+  ASSERT_EQ(s.recovery_records().size(), 1u);
+  EXPECT_EQ(s.recovery_records()[0].energy, report.energy);
+}
+
+TEST(SessionRealignTest, PostTrainingBlockageDeclaresOutage) {
+  Fixture f;
+  const index_t budget = 16;
+  // Blockage onset AT the budget: training is clean, every verification /
+  // recovery probe (slot >= budget) sees the deeply attenuated link.
+  const fault::FaultPlan plan =
+      fault::FaultPlan::scripted({}, /*blockage_onset=*/budget, {1e-4}, {});
+  const channel::Link degraded =
+      channel::blocked_link(f.link, std::vector<real>{1e-4});
+
+  Rng rng{31};
+  Session s(f.link, f.tx_cb, f.rx_cb, /*gamma=*/100.0, budget, rng, 8);
+  s.arm_faults(&plan, &degraded);
+  for (index_t t = 0; t < 4; ++t)
+    for (index_t r = 0; r < 4; ++r) s.measure(t, r);
+
+  Session::RealignmentPolicy policy;
+  policy.verify_fades = 8;
+  policy.max_retries = 2;
+  policy.widen_radius = 1;
+  const auto report = s.verify_and_realign(policy);
+  // The whole (single-path) link is shadowed ~40 dB: the claimed pair
+  // collapses and no neighbour can clear the threshold either.
+  EXPECT_TRUE(report.outage);
+  EXPECT_FALSE(report.recovered);
+  EXPECT_GT(s.recovery_slots(), 1u);
+  // Training records still untouched.
+  EXPECT_EQ(s.records().size(), 16u);
 }
 
 }  // namespace
