@@ -10,6 +10,7 @@
 #include <system_error>
 
 #include "core/thread_pool.h"
+#include "linalg/kernels.h"
 #include "obs/clock.h"
 #include "obs/manifest.h"
 #include "obs/trace.h"
@@ -126,6 +127,10 @@ class BenchRun {
     obs::Registry::global().reset();
     if (!trace_path_.empty())
       obs::TraceCollector::global().set_capturing(true);
+    // Which scoring-kernel tier this process dispatched to (DESIGN.md §12):
+    // recorded up front so even a crashed run's manifest says what ran.
+    manifest_.add_config("kernels.dispatch",
+                         std::string(linalg::kernels::active_tier_name()));
   }
 
   /// Adds the scenario's reproducibility-relevant knobs to the manifest.
@@ -177,6 +182,12 @@ class BenchRun {
                          counter("estimation.fallback.stressed"));
     manifest_.add_health("sim.trials.quarantined",
                          counter("sim.trials.quarantined"));
+    // Peak scoring-scratch footprint across all worker threads: the arena
+    // never shrinks during a run, so this is the run's steady-state kernel
+    // workspace (bytes, not a rate).
+    manifest_.add_config("kernels.arena_high_water_bytes",
+                         static_cast<std::uint64_t>(
+                             linalg::kernels::arena_high_water_bytes()));
     if (ml_nonconverged + em_nonconverged > 0)
       std::fprintf(stderr,
                    "warning: %llu covariance solve(s) hit the iteration "

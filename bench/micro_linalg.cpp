@@ -253,6 +253,56 @@ void BM_SlotCycleWithSolverFactored(benchmark::State& state) {
 }
 BENCHMARK(BM_SlotCycleWithSolverFactored)->Args({64, 8})->Args({128, 8});
 
+// ---- Batched scoring kernel tiers (DESIGN.md §12) --------------------------
+//
+// A/B of the runtime-dispatched SoA kernels: identical inputs, tier forced
+// per benchmark. Both arms produce bit-identical scores (the kernel layer's
+// equivalence contract); the ratio is pure SIMD throughput. Scoring goes
+// through covariance_scores_into with a reused buffer, so no allocation is
+// timed — only kernel work plus the thread-local arena bump.
+
+void BM_BatchedScoresScalar(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t j = static_cast<index_t>(state.range(1));
+  randgen::Rng rng(8);
+  const auto cb = antenna::Codebook::dft(geometry_for(n));
+  const auto ms = slot_energies(rng, cb, n, j);
+  estimation::CovarianceMlOptions opts;
+  opts.gamma = 100.0;
+  const auto res = estimation::estimate_covariance_ml(n, ms, opts);
+  std::vector<real> scores(cb.size());
+  linalg::kernels::force_tier_for_testing(linalg::kernels::Tier::kScalar);
+  for (auto _ : state) {
+    cb.covariance_scores_into(res.q, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  linalg::kernels::reset_tier_for_testing();
+}
+BENCHMARK(BM_BatchedScoresScalar)->ArgsProduct({{16, 64, 128}, {8}});
+
+void BM_BatchedScoresAvx2(benchmark::State& state) {
+  if (!linalg::kernels::cpu_supports_avx2()) {
+    state.SkipWithError("CPU lacks AVX2");
+    return;
+  }
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t j = static_cast<index_t>(state.range(1));
+  randgen::Rng rng(8);
+  const auto cb = antenna::Codebook::dft(geometry_for(n));
+  const auto ms = slot_energies(rng, cb, n, j);
+  estimation::CovarianceMlOptions opts;
+  opts.gamma = 100.0;
+  const auto res = estimation::estimate_covariance_ml(n, ms, opts);
+  std::vector<real> scores(cb.size());
+  linalg::kernels::force_tier_for_testing(linalg::kernels::Tier::kAvx2);
+  for (auto _ : state) {
+    cb.covariance_scores_into(res.q, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  linalg::kernels::reset_tier_for_testing();
+}
+BENCHMARK(BM_BatchedScoresAvx2)->ArgsProduct({{16, 64, 128}, {8}});
+
 void BM_AddScaledOuter(benchmark::State& state) {
   const index_t n = static_cast<index_t>(state.range(0));
   randgen::Rng rng(9);

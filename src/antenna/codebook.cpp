@@ -135,7 +135,7 @@ namespace {
 
 /// First index of the maximal score — identical tie behavior to
 /// partial_sort with k = 1 (both keep the earliest maximum).
-index_t argmax_score(const std::vector<real>& score) {
+index_t argmax_score(std::span<const real> score) {
   return static_cast<index_t>(
       std::max_element(score.begin(), score.end()) - score.begin());
 }
@@ -149,8 +149,7 @@ index_t argmax_score(const std::vector<real>& score) {
 /// directed measurement of the proposed scheme could pick different beams
 /// on different standard libraries or build modes, silently shifting
 /// golden figures (tests/sim/golden_figures_test.cpp).
-std::vector<index_t> top_k_by_score(const std::vector<real>& score,
-                                    index_t k) {
+std::vector<index_t> top_k_by_score(std::span<const real> score, index_t k) {
   if (k == 1) return {argmax_score(score)};
   std::vector<index_t> order(score.size());
   std::iota(order.begin(), order.end(), index_t{0});
@@ -166,50 +165,84 @@ std::vector<index_t> top_k_by_score(const std::vector<real>& score,
 }  // namespace
 
 index_t Codebook::best_for_covariance(const linalg::Matrix& q) const {
-  return argmax_score(covariance_scores(q));
+  linalg::kernels::Arena& arena = linalg::kernels::scratch_arena();
+  linalg::kernels::ArenaScope scope(arena);
+  const std::span<real> score = arena.alloc<real>(size());
+  covariance_scores_into(q, score);
+  return argmax_score(score);
 }
 
 index_t Codebook::best_for_covariance(
     const linalg::FactoredHermitian& q) const {
-  return argmax_score(covariance_scores(q));
+  linalg::kernels::Arena& arena = linalg::kernels::scratch_arena();
+  linalg::kernels::ArenaScope scope(arena);
+  const std::span<real> score = arena.alloc<real>(size());
+  covariance_scores_into(q, score);
+  return argmax_score(score);
 }
 
-std::vector<real> Codebook::covariance_scores(const linalg::Matrix& q) const {
+void Codebook::covariance_scores_into(const linalg::Matrix& q,
+                                      std::span<real> out) const {
   MMW_REQUIRE(q.rows() == codewords_.front().size());
+  MMW_REQUIRE(out.size() == size());
   if (obs::enabled()) {
     const ScoreMetrics& m = ScoreMetrics::get();
     m.passes_dense.add();
     m.scored_codewords.add(static_cast<std::uint64_t>(size()));
   }
-  std::vector<real> score(size());
-  for (index_t i = 0; i < size(); ++i)
-    score[i] = linalg::hermitian_form(codewords_[i], q);
-  return score;
+  linalg::kernels::dense_scores(q, packed_, out);
 }
 
-std::vector<real> Codebook::covariance_scores(
-    const linalg::FactoredHermitian& q) const {
+void Codebook::covariance_scores_into(const linalg::FactoredHermitian& q,
+                                      std::span<real> out) const {
   MMW_REQUIRE(q.dim() == codewords_.front().size());
+  MMW_REQUIRE(out.size() == size());
   if (obs::enabled()) {
     const ScoreMetrics& m = ScoreMetrics::get();
     m.passes_factored.add();
     m.scored_codewords.add(static_cast<std::uint64_t>(size()));
   }
+  // Full mode has no stored basis (the identity is implicit) and must keep
+  // matching the dense formulas bit-for-bit, so it takes the dense kernel
+  // on the core — exactly what FactoredHermitian::rayleigh does per
+  // codeword.
+  if (q.is_full())
+    linalg::kernels::dense_scores(q.core(), packed_, out);
+  else
+    linalg::kernels::factored_scores(q.basis(), q.core(), packed_, out);
+}
+
+std::vector<real> Codebook::covariance_scores(const linalg::Matrix& q) const {
   std::vector<real> score(size());
-  for (index_t i = 0; i < size(); ++i) score[i] = q.rayleigh(codewords_[i]);
+  covariance_scores_into(q, score);
+  return score;
+}
+
+std::vector<real> Codebook::covariance_scores(
+    const linalg::FactoredHermitian& q) const {
+  std::vector<real> score(size());
+  covariance_scores_into(q, score);
   return score;
 }
 
 std::vector<index_t> Codebook::top_k_for_covariance(const linalg::Matrix& q,
                                                     index_t k) const {
   MMW_REQUIRE(k >= 1 && k <= size());
-  return top_k_by_score(covariance_scores(q), k);
+  linalg::kernels::Arena& arena = linalg::kernels::scratch_arena();
+  linalg::kernels::ArenaScope scope(arena);
+  const std::span<real> score = arena.alloc<real>(size());
+  covariance_scores_into(q, score);
+  return top_k_by_score(score, k);
 }
 
 std::vector<index_t> Codebook::top_k_for_covariance(
     const linalg::FactoredHermitian& q, index_t k) const {
   MMW_REQUIRE(k >= 1 && k <= size());
-  return top_k_by_score(covariance_scores(q), k);
+  linalg::kernels::Arena& arena = linalg::kernels::scratch_arena();
+  linalg::kernels::ArenaScope scope(arena);
+  const std::span<real> score = arena.alloc<real>(size());
+  covariance_scores_into(q, score);
+  return top_k_by_score(score, k);
 }
 
 Codebook Codebook::with_quantized_phases(index_t bits) const {

@@ -2,10 +2,12 @@
 // 2-D grid, with the spatial-adjacency structure the Scan baseline needs.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "antenna/geometry.h"
 #include "linalg/factored.h"
+#include "linalg/kernels.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 
@@ -33,6 +35,14 @@ class Codebook {
 
   index_t size() const { return codewords_.size(); }
   const linalg::Vector& codeword(index_t i) const { return codewords_[i]; }
+
+  /// The codewords packed as a split-complex structure-of-arrays panel
+  /// (linalg::kernels::SoAComplex): column v is codeword v, row i streams
+  /// element i of every codeword — the layout the batched scoring kernels
+  /// read. Built once at construction and immutable afterwards, so the
+  /// panel may be read concurrently from any number of threads; it aliases
+  /// nothing (it is a copy of the codewords, not a view into them).
+  const linalg::kernels::SoAComplex& packed() const { return packed_; }
 
   index_t grid_x() const { return grid_x_; }
   index_t grid_y() const { return grid_y_; }
@@ -67,12 +77,25 @@ class Codebook {
       const linalg::FactoredHermitian& q, index_t k) const;
 
   /// Rayleigh quotients c_iᴴ Q c_i for every codeword. The factored
-  /// overload scores through precomputed projections Bᴴc_i — O(|V|·N·r +
+  /// overload scores through the projected panel Bᴴ C — O(|V|·N·r +
   /// |V|·r²) instead of the dense form's O(|V|·N²) — which is the per-slot
-  /// hot path of the alignment strategies.
+  /// hot path of the alignment strategies. Both overloads run the batched
+  /// SoA kernels (linalg/kernels.h) over packed(); results are
+  /// bit-identical to per-codeword FactoredHermitian::rayleigh /
+  /// hermitian_form (the kernel layer's equivalence contract).
   std::vector<real> covariance_scores(const linalg::Matrix& q) const;
   std::vector<real> covariance_scores(
       const linalg::FactoredHermitian& q) const;
+
+  /// Allocation-free variants: write the scores into caller-owned storage
+  /// (kernel workspace comes from the calling thread's scratch arena).
+  /// Feedback loops that score every slot should reuse one buffer across
+  /// slots. `out` must not alias the codebook's storage.
+  /// Preconditions: out.size() == size(); q sized to the codewords.
+  void covariance_scores_into(const linalg::Matrix& q,
+                              std::span<real> out) const;
+  void covariance_scores_into(const linalg::FactoredHermitian& q,
+                              std::span<real> out) const;
 
   /// Boustrophedon (serpentine) visiting order of the grid: consecutive
   /// entries are always grid-adjacent. Scan baselines walk this order.
@@ -89,11 +112,13 @@ class Codebook {
   Codebook(std::vector<linalg::Vector> codewords, index_t gx, index_t gy,
            bool wraps)
       : codewords_(std::move(codewords)),
+        packed_(linalg::kernels::SoAComplex::pack_columns(codewords_)),
         grid_x_(gx),
         grid_y_(gy),
         wraps_(wraps) {}
 
   std::vector<linalg::Vector> codewords_;
+  linalg::kernels::SoAComplex packed_;  ///< SoA copy for the batched kernels
   index_t grid_x_ = 0;
   index_t grid_y_ = 0;
   bool wraps_ = false;

@@ -1,5 +1,6 @@
 #include "channel/link.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "antenna/steering.h"
@@ -90,15 +91,22 @@ Matrix Link::draw_channel(randgen::Rng& rng) const {
 }
 
 Vector Link::draw_effective_channel(const Vector& u, randgen::Rng& rng) const {
-  MMW_REQUIRE(u.size() == m_);
   Vector h(n_);
+  draw_effective_channel_into(u, rng, h);
+  return h;
+}
+
+void Link::draw_effective_channel_into(const Vector& u, randgen::Rng& rng,
+                                       Vector& h) const {
+  MMW_REQUIRE(u.size() == m_);
+  MMW_REQUIRE(h.size() == n_);
+  std::fill(h.begin(), h.end(), cx{0.0, 0.0});
   for (index_t l = 0; l < paths_.size(); ++l) {
     const cx g = rng.complex_normal(paths_[l].power) *
                  cx{amplitude_scale_, 0.0} *
                  linalg::dot(tx_steering_[l], u);
     for (index_t i = 0; i < n_; ++i) h[i] += g * rx_steering_[l][i];
   }
-  return h;
 }
 
 Vector sample_complex_gaussian(const Matrix& q, randgen::Rng& rng) {

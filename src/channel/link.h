@@ -72,6 +72,14 @@ class Link {
   linalg::Vector draw_effective_channel(const linalg::Vector& u,
                                         randgen::Rng& rng) const;
 
+  /// Allocation-free variant: overwrites `h` with a fresh draw of H·u.
+  /// Identical RNG consumption and arithmetic to draw_effective_channel —
+  /// per-slot fade loops (mac::Session::probe_energy) reuse one vector
+  /// across all fades of a run. `h` must not alias `u`.
+  /// Precondition: h.size() == rx_size().
+  void draw_effective_channel_into(const linalg::Vector& u, randgen::Rng& rng,
+                                   linalg::Vector& h) const;
+
   /// RX steering vector of path l (unit norm).
   const linalg::Vector& rx_steering(index_t l) const { return rx_steering_[l]; }
   /// TX steering vector of path l (unit norm).

@@ -159,6 +159,10 @@ void ProposedAlignment::run_with_state(Session& session,
   index_t state_slots = 0;
   index_t slot = 0;
   index_t idle_slots = 0;  // consecutive TX beams with nothing left
+  // One score buffer for every slot of the run: covariance_scores_into
+  // writes over it in place, so the per-slot feedback loop allocates
+  // nothing for scoring.
+  std::vector<real> scores(rx_cb.size());
   while (!session.exhausted() && idle_slots < tx_order.size()) {
     const index_t u_idx = tx_order[slot % tx_order.size()];
     ++slot;
@@ -188,7 +192,7 @@ void ProposedAlignment::run_with_state(Session& session,
     if (q_prev.has_value()) {
       const index_t score_budget =
           prior_is_external ? (j_explore + 1) / 2 : j_explore;
-      const std::vector<real> scores = rx_cb.covariance_scores(*q_prev);
+      rx_cb.covariance_scores_into(*q_prev, scores);
       std::vector<index_t> order = unmeasured;
       // Ties break by lowest codeword index (std::sort is unstable); see
       // top_k_for_covariance — same determinism requirement.
@@ -280,13 +284,18 @@ void PingPongAlignment::run(Session& session) const {
   std::optional<FactoredHermitian> q_rx;  // dim N, learned in RX-phase slots
   std::optional<FactoredHermitian> q_tx;  // dim M, learned in TX-phase slots
 
+  // One score buffer shared by both phases (resized per codebook; capacity
+  // sticks at the larger side after the first TX/RX round trip).
+  std::vector<real> scores;
+
   // Picks the best-scoring index under an optional covariance among those
   // for which `usable` holds, falling back to a random usable index.
   const auto pick = [&](const Codebook& cb,
                         const std::optional<FactoredHermitian>& q,
                         auto&& usable) -> std::optional<index_t> {
     if (q.has_value()) {
-      const auto scores = cb.covariance_scores(*q);
+      scores.resize(cb.size());
+      cb.covariance_scores_into(*q, scores);
       index_t best = cb.size();
       real best_score = beam_floor;
       for (index_t i = 0; i < cb.size(); ++i)
@@ -309,7 +318,8 @@ void PingPongAlignment::run(Session& session) const {
     std::vector<index_t> probes;
     std::vector<bool> picked(cb.size(), false);
     if (q.has_value()) {
-      const auto scores = cb.covariance_scores(*q);
+      scores.resize(cb.size());
+      cb.covariance_scores_into(*q, scores);
       std::vector<index_t> order;
       for (index_t i = 0; i < cb.size(); ++i)
         if (usable(i)) order.push_back(i);

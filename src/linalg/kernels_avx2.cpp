@@ -1,0 +1,172 @@
+// AVX2 tier of the batched scoring kernels.
+//
+// Compiled with -mavx2 -ffp-contract=off and selected at runtime only when
+// CPUID reports AVX2 (see kernels.cpp); nothing in this file runs on CPUs
+// without it.
+//
+// Bit-exactness with the scalar tier: lanes hold FOUR DIFFERENT output
+// columns, never partial sums of one reduction, so each output element sees
+// the identical sequence of IEEE-754 multiplies and adds as the scalar
+// code. No FMA is used (vfmadd rounds once where mul+add rounds twice) and
+// -ffp-contract=off keeps the compiler from introducing any.
+#include "linalg/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace mmw::linalg::kernels::detail {
+
+namespace {
+
+/// Per-lane complex accumulation step for conj(b)·x (adjoint GEMM):
+///   acc_re += br·xr + bi·xi,  acc_im += br·xi − bi·xr.
+inline void conj_mul_acc(__m256d br, __m256d bi, __m256d xr, __m256d xi,
+                         __m256d& acc_re, __m256d& acc_im) {
+  const __m256d t1 = _mm256_mul_pd(br, xr);
+  const __m256d t2 = _mm256_mul_pd(bi, xi);
+  const __m256d t3 = _mm256_mul_pd(br, xi);
+  const __m256d t4 = _mm256_mul_pd(bi, xr);
+  acc_re = _mm256_add_pd(acc_re, _mm256_add_pd(t1, t2));
+  acc_im = _mm256_add_pd(acc_im, _mm256_sub_pd(t3, t4));
+}
+
+/// Per-lane complex accumulation step for a·x (plain GEMM):
+///   acc_re += ar·xr − ai·xi,  acc_im += ar·xi + ai·xr.
+inline void mul_acc(__m256d ar, __m256d ai, __m256d xr, __m256d xi,
+                    __m256d& acc_re, __m256d& acc_im) {
+  const __m256d t1 = _mm256_mul_pd(ar, xr);
+  const __m256d t2 = _mm256_mul_pd(ai, xi);
+  const __m256d t3 = _mm256_mul_pd(ar, xi);
+  const __m256d t4 = _mm256_mul_pd(ai, xr);
+  acc_re = _mm256_add_pd(acc_re, _mm256_sub_pd(t1, t2));
+  acc_im = _mm256_add_pd(acc_im, _mm256_add_pd(t3, t4));
+}
+
+}  // namespace
+
+void adjoint_gemm_avx2(const Matrix& a, SoAConstView x, SoAView out) {
+  const index_t n = a.rows();
+  const index_t r = a.cols();
+  const index_t v = x.cols;
+  const index_t main = v - v % 8;
+  for (index_t k = 0; k < r; ++k) {
+    // Two 4-lane column blocks per sweep: 4 accumulator registers, reusing
+    // the broadcast scalar across both blocks.
+    for (index_t c0 = 0; c0 < main; c0 += 8) {
+      __m256d acc_re0 = _mm256_setzero_pd();
+      __m256d acc_im0 = _mm256_setzero_pd();
+      __m256d acc_re1 = _mm256_setzero_pd();
+      __m256d acc_im1 = _mm256_setzero_pd();
+      for (index_t i = 0; i < n; ++i) {
+        const cx b = a(i, k);
+        const __m256d br = _mm256_set1_pd(b.real());
+        const __m256d bi = _mm256_set1_pd(b.imag());
+        const double* xr = x.re + i * v + c0;
+        const double* xi = x.im + i * v + c0;
+        conj_mul_acc(br, bi, _mm256_loadu_pd(xr), _mm256_loadu_pd(xi),
+                     acc_re0, acc_im0);
+        conj_mul_acc(br, bi, _mm256_loadu_pd(xr + 4), _mm256_loadu_pd(xi + 4),
+                     acc_re1, acc_im1);
+      }
+      _mm256_storeu_pd(out.re + k * v + c0, acc_re0);
+      _mm256_storeu_pd(out.im + k * v + c0, acc_im0);
+      _mm256_storeu_pd(out.re + k * v + c0 + 4, acc_re1);
+      _mm256_storeu_pd(out.im + k * v + c0 + 4, acc_im1);
+    }
+    // Scalar tail, same op order per element.
+    for (index_t c = main; c < v; ++c) {
+      double acc_re = 0.0;
+      double acc_im = 0.0;
+      for (index_t i = 0; i < n; ++i) {
+        const cx b = a(i, k);
+        const double t1 = b.real() * x.re[i * v + c];
+        const double t2 = b.imag() * x.im[i * v + c];
+        const double t3 = b.real() * x.im[i * v + c];
+        const double t4 = b.imag() * x.re[i * v + c];
+        acc_re += t1 + t2;
+        acc_im += t3 - t4;
+      }
+      out.re[k * v + c] = acc_re;
+      out.im[k * v + c] = acc_im;
+    }
+  }
+}
+
+void gemm_avx2(const Matrix& a, SoAConstView x, SoAView out) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t v = x.cols;
+  const index_t main = v - v % 8;
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t c0 = 0; c0 < main; c0 += 8) {
+      __m256d acc_re0 = _mm256_setzero_pd();
+      __m256d acc_im0 = _mm256_setzero_pd();
+      __m256d acc_re1 = _mm256_setzero_pd();
+      __m256d acc_im1 = _mm256_setzero_pd();
+      for (index_t j = 0; j < n; ++j) {
+        const cx aij = a(i, j);
+        const __m256d ar = _mm256_set1_pd(aij.real());
+        const __m256d ai = _mm256_set1_pd(aij.imag());
+        const double* xr = x.re + j * v + c0;
+        const double* xi = x.im + j * v + c0;
+        mul_acc(ar, ai, _mm256_loadu_pd(xr), _mm256_loadu_pd(xi), acc_re0,
+                acc_im0);
+        mul_acc(ar, ai, _mm256_loadu_pd(xr + 4), _mm256_loadu_pd(xi + 4),
+                acc_re1, acc_im1);
+      }
+      _mm256_storeu_pd(out.re + i * v + c0, acc_re0);
+      _mm256_storeu_pd(out.im + i * v + c0, acc_im0);
+      _mm256_storeu_pd(out.re + i * v + c0 + 4, acc_re1);
+      _mm256_storeu_pd(out.im + i * v + c0 + 4, acc_im1);
+    }
+    for (index_t c = main; c < v; ++c) {
+      double acc_re = 0.0;
+      double acc_im = 0.0;
+      for (index_t j = 0; j < n; ++j) {
+        const cx aij = a(i, j);
+        const double t1 = aij.real() * x.re[j * v + c];
+        const double t2 = aij.imag() * x.im[j * v + c];
+        const double t3 = aij.real() * x.im[j * v + c];
+        const double t4 = aij.imag() * x.re[j * v + c];
+        acc_re += t1 - t2;
+        acc_im += t3 + t4;
+      }
+      out.re[i * v + c] = acc_re;
+      out.im[i * v + c] = acc_im;
+    }
+  }
+}
+
+void inner_avx2(SoAConstView p, SoAConstView t, std::span<real> out) {
+  const index_t r = p.rows;
+  const index_t v = p.cols;
+  const index_t main = v - v % 4;
+  for (index_t c0 = 0; c0 < main; c0 += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (index_t k = 0; k < r; ++k) {
+      const __m256d pr = _mm256_loadu_pd(p.re + k * v + c0);
+      const __m256d pi = _mm256_loadu_pd(p.im + k * v + c0);
+      const __m256d tr = _mm256_loadu_pd(t.re + k * v + c0);
+      const __m256d ti = _mm256_loadu_pd(t.im + k * v + c0);
+      // Re(conj(p)·t) = pr·tr + pi·ti, one rounded sum per term.
+      const __m256d t1 = _mm256_mul_pd(pr, tr);
+      const __m256d t2 = _mm256_mul_pd(pi, ti);
+      acc = _mm256_add_pd(acc, _mm256_add_pd(t1, t2));
+    }
+    _mm256_storeu_pd(out.data() + c0, acc);
+  }
+  for (index_t c = main; c < v; ++c) {
+    double acc = 0.0;
+    for (index_t k = 0; k < r; ++k) {
+      const double t1 = p.re[k * v + c] * t.re[k * v + c];
+      const double t2 = p.im[k * v + c] * t.im[k * v + c];
+      acc += t1 + t2;
+    }
+    out[c] = acc;
+  }
+}
+
+}  // namespace mmw::linalg::kernels::detail
+
+#endif  // __AVX2__

@@ -47,7 +47,8 @@ Session::Session(const channel::Link& link,
       budget_(std::min(budget, tx_codebook.size() * rx_codebook.size())),
       fades_(fades_per_measurement),
       rng_(&rng),
-      measured_(tx_codebook.size() * rx_codebook.size(), false) {
+      measured_(tx_codebook.size() * rx_codebook.size(), false),
+      fade_scratch_(link.rx_size()) {
   MMW_REQUIRE_MSG(gamma > 0.0, "SNR gamma must be positive");
   MMW_REQUIRE_MSG(budget > 0, "measurement budget must be positive");
   MMW_REQUIRE_MSG(fades_per_measurement > 0,
@@ -126,8 +127,8 @@ real Session::probe_energy(index_t tx_beam, index_t rx_beam, index_t fades,
   for (index_t k = 0; k < fades; ++k) {
     cx z = rng_->complex_normal(noise_var);
     if (!blocked) {
-      const linalg::Vector h = link->draw_effective_channel(u, *rng_);
-      z += linalg::dot(v, h);
+      link->draw_effective_channel_into(u, *rng_, fade_scratch_);
+      z += linalg::dot(v, fade_scratch_);
     }
     energy += std::norm(z);
   }

@@ -183,6 +183,7 @@ class Session {
   std::vector<MeasurementRecord> records_;
   std::vector<MeasurementRecord> recovery_records_;
   std::vector<bool> measured_;  ///< tx_beam·|V| + rx_beam
+  linalg::Vector fade_scratch_;  ///< reused per-fade effective channel H·u
 };
 
 }  // namespace mmw::mac

@@ -171,6 +171,7 @@ MultiCellResult run_multicell(
       // Interference profile: every other BS dwells on its trial-fixed
       // active beam; fold the coupled per-RX-beam powers into one vector.
       std::vector<real> interference;
+      std::vector<real> cross_scores(cbs.rx.size());
       real mean_interference = 0.0;
       if (interfering) {
         interference.assign(cbs.rx.size(), 0.0);
@@ -186,11 +187,11 @@ MultiCellResult run_multicell(
           const linalg::FactoredHermitian q_cross =
               cross_covariance_factored(cross,
                                         cbs.tx.codeword(active_beam));
-          const std::vector<real> scores = cbs.rx.covariance_scores(q_cross);
+          cbs.rx.covariance_scores_into(q_cross, cross_scores);
           const real coupled = config.interference_scale *
                                topo.coupling(other, cell, drop);
           for (index_t v = 0; v < interference.size(); ++v)
-            interference[v] += coupled * scores[v];
+            interference[v] += coupled * cross_scores[v];
         }
         for (const real p : interference) mean_interference += p;
         mean_interference /= static_cast<real>(interference.size());

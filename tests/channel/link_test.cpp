@@ -168,5 +168,35 @@ TEST(SampleComplexGaussianTest, RequiresSquare) {
                precondition_error);
 }
 
+// The allocation-free variant must be a drop-in for the returning one:
+// identical draws (bit-exact) from identical RNG state, identical RNG
+// consumption, and full overwrite of whatever the reused buffer held.
+TEST(LinkTest, DrawEffectiveChannelIntoMatchesReturningVariant) {
+  const Link link(ArrayGeometry::upa(4, 4), ArrayGeometry::upa(4, 4),
+                  {Path{1.0, {0.3, 0.1}, {-0.4, 0.05}},
+                   Path{0.5, {-0.2, 0.0}, {0.6, -0.1}}});
+  const Vector u = link.tx_steering(0);
+  Rng rng_a(42);
+  Rng rng_b(42);
+  Vector scratch(link.rx_size());
+  for (int rep = 0; rep < 5; ++rep) {
+    const Vector fresh = link.draw_effective_channel(u, rng_a);
+    // Poison the buffer: a correct into-variant overwrites every element.
+    for (index_t i = 0; i < scratch.size(); ++i) scratch[i] = cx{1e9, -1e9};
+    link.draw_effective_channel_into(u, rng_b, scratch);
+    for (index_t i = 0; i < fresh.size(); ++i)
+      EXPECT_EQ(scratch[i], fresh[i]) << "rep=" << rep << " i=" << i;
+  }
+}
+
+TEST(LinkTest, DrawEffectiveChannelIntoChecksBufferSize) {
+  const Link link = one_path_link();
+  Rng rng(7);
+  Vector wrong(link.rx_size() + 1);
+  EXPECT_THROW(
+      link.draw_effective_channel_into(link.tx_steering(0), rng, wrong),
+      precondition_error);
+}
+
 }  // namespace
 }  // namespace mmw::channel

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Flag slot-cycle performance regressions against the committed baseline.
+
+The committed bench_results/BENCH_micro_linalg.json records the BM_SlotCycle*
+timings of the batched-SIMD scoring path (PR 7). This script compares a
+fresh google-benchmark JSON run against it and fails when any gated
+benchmark got slower than the baseline by more than --tolerance — catching
+accidental de-optimization of the per-slot hot path (a dropped kernel
+dispatch, a reintroduced per-codeword temporary, an arena that stopped
+reusing memory) before it merges.
+
+Machine-speed differences between the baseline recorder and the CI runner
+are cancelled exactly as in check_obs_overhead.py: the current run is
+rescaled by the median current/baseline ratio over instrumentation-free
+calibration benchmarks. Multiple --current files (or in-file repetitions)
+fold to the per-benchmark minimum, the standard de-noising for
+time-based microbenchmarks.
+
+The default tolerance is looser than the obs-overhead gate's (15% vs 3%):
+this gate compares kernel-bound timings across heterogeneous runners,
+where calibration cancels scale but not microarchitectural differences in
+SIMD throughput.
+
+Usage:
+  python3 tools/check_bench_regression.py --current BENCH_micro_linalg.json
+  python3 tools/check_bench_regression.py --current run1.json --current run2.json \
+      --tolerance 0.10 --filter BM_SlotCycleFactored
+
+Exit status 0 if every gated benchmark is within tolerance, 1 otherwise.
+Only the Python standard library is used.
+"""
+
+import argparse
+import statistics
+import sys
+
+from check_obs_overhead import CALIBRATION_PREFIXES, load_times
+
+GATED_PREFIX = "BM_SlotCycle"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, action="append",
+                        help="google-benchmark JSON from this build "
+                             "(repeatable; per-benchmark minimum is used)")
+    parser.add_argument("--baseline", action="append",
+                        help="baseline JSON (repeatable; default: "
+                             "bench_results/BENCH_micro_linalg.json)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional slowdown (default: %(default)s)")
+    parser.add_argument("--filter", default=GATED_PREFIX,
+                        help="benchmark-name prefix to gate (default: %(default)s)")
+    parser.add_argument("--no-calibrate", action="store_true",
+                        help="compare raw times (same-machine runs only)")
+    args = parser.parse_args()
+
+    baseline_paths = args.baseline or ["bench_results/BENCH_micro_linalg.json"]
+    baseline = load_times(baseline_paths)
+    current = load_times(args.current)
+
+    gated = sorted(n for n in baseline
+                   if n.startswith(args.filter) and n in current)
+    if not gated:
+        print(f"error: no benchmarks matching '{args.filter}' present in both "
+              f"{baseline_paths} and {args.current}", file=sys.stderr)
+        return 1
+
+    scale = 1.0
+    if not args.no_calibrate:
+        ratios = [current[n] / baseline[n]
+                  for n in baseline
+                  if n.startswith(CALIBRATION_PREFIXES) and n in current
+                  and baseline[n] > 0.0]
+        if not ratios:
+            print("error: no calibration benchmarks in common; "
+                  "rerun with --no-calibrate", file=sys.stderr)
+            return 1
+        scale = statistics.median(ratios)
+        print(f"machine-speed scale factor (median over {len(ratios)} "
+              f"calibration benches): {scale:.4f}")
+
+    limit = 1.0 + args.tolerance
+    failed = []
+    print(f"{'benchmark':<40} {'baseline ns':>14} {'current ns':>14} "
+          f"{'ratio':>8}")
+    for name in gated:
+        ratio = current[name] / (baseline[name] * scale)
+        verdict = "ok" if ratio <= limit else "FAIL"
+        print(f"{name:<40} {baseline[name]:>14.0f} {current[name]:>14.0f} "
+              f"{ratio:>8.4f}  {verdict}")
+        if ratio > limit:
+            failed.append(name)
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} benchmark(s) regressed beyond the "
+              f"{args.tolerance:.0%} budget vs the committed baseline: "
+              + ", ".join(failed), file=sys.stderr)
+        return 1
+    print(f"\nOK: all {len(gated)} gated benchmarks within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
