@@ -188,6 +188,9 @@ class BenchRun {
     manifest_.add_config("kernels.arena_high_water_bytes",
                          static_cast<std::uint64_t>(
                              linalg::kernels::arena_high_water_bytes()));
+    // Process-wide peak resident set (kernel VmHWM) so every manifest
+    // carries a memory high-water mark alongside the arena accounting.
+    manifest_.add_config("peak_rss_bytes", obs::peak_rss_bytes());
     if (ml_nonconverged + em_nonconverged > 0)
       std::fprintf(stderr,
                    "warning: %llu covariance solve(s) hit the iteration "

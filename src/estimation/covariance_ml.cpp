@@ -131,9 +131,13 @@ void record_ml_solve(const SolveResult& solve,
 /// likelihood is reused for both the convergence test and the next
 /// iteration's linearization point, saving two full likelihood passes per
 /// iteration at bit-identical results.
+/// `init`, when non-null, replaces the moment-based starting iterate (the
+/// warm-start entry point projects a prior estimate here); it must be an
+/// n×n Hermitian PSD matrix. Null reproduces the cold start bit-for-bit.
 SolveResult solve_full(index_t n,
                        std::span<const BeamMeasurement> measurements,
-                       const CovarianceMlOptions& opts) {
+                       const CovarianceMlOptions& opts,
+                       const Matrix* init = nullptr) {
   obs::TraceScope span("estimation.ml.solve", "estimation");
   span.arg("n", static_cast<double>(n));
   span.arg("measurements", static_cast<double>(measurements.size()));
@@ -141,7 +145,9 @@ SolveResult solve_full(index_t n,
 
   // Moment-based warm start keeps the likelihood well-conditioned from the
   // first iteration (Q = 0 would put all mass on the noise floor).
-  Matrix q = sample_covariance_estimate(n, measurements, opts.gamma);
+  Matrix q = init != nullptr
+                 ? *init
+                 : sample_covariance_estimate(n, measurements, opts.gamma);
 
   SolveResult result;
   // Smooth part J(Q) at the current iterate; the penalized objective is
@@ -279,6 +285,57 @@ CovarianceMlResult estimate_covariance_ml(
     return result;
   }
   SolveResult red = solve_full(rp.basis.size(), rp.reduced, opts);
+  result.q = FactoredHermitian(rp.basis_matrix(n), std::move(red.q));
+  result.objective = red.objective;
+  result.iterations = red.iterations;
+  result.converged = red.converged;
+  record_ml_solve(red, result);
+  return result;
+}
+
+CovarianceMlResult estimate_covariance_ml_warm(
+    index_t n, std::span<const BeamMeasurement> measurements,
+    const CovarianceMlOptions& opts,
+    const linalg::FactoredHermitian& prior) {
+  if (prior.empty()) return estimate_covariance_ml(n, measurements, opts);
+  check_measurements(n, measurements);
+  MMW_REQUIRE_MSG(prior.dim() == n, "prior dimension mismatch");
+  MMW_REQUIRE(opts.mu >= 0.0);
+  MMW_REQUIRE(opts.gamma > 0.0);
+  MMW_REQUIRE(opts.max_iterations > 0);
+
+  CovarianceMlResult result;
+  const ReducedProblem rp = reduce_to_beam_span(measurements);
+  if (rp.basis.size() == n) {
+    const Matrix init = prior.dense();
+    SolveResult full = solve_full(n, measurements, opts, &init);
+    result.q = FactoredHermitian::from_dense(std::move(full.q));
+    result.objective = full.objective;
+    result.iterations = full.iterations;
+    result.converged = full.converged;
+    record_ml_solve(full, result);
+    return result;
+  }
+  // Project the prior into the measured beam span: q₀(k,l) = b_kᴴ(Q b_l).
+  // The compression B Bᴴ Q B Bᴴ of a PSD prior is PSD, so the solver starts
+  // inside its feasible cone. Explicit Hermitization kills the rounding
+  // asymmetry of computing the two triangles from separate apply() calls.
+  const index_t r = rp.basis.size();
+  Matrix init(r, r);
+  for (index_t l = 0; l < r; ++l) {
+    const Vector ql = prior.apply(rp.basis[l]);
+    for (index_t k = 0; k < r; ++k)
+      init(k, l) = linalg::dot(rp.basis[k], ql);
+  }
+  for (index_t k = 0; k < r; ++k) {
+    init(k, k) = cx{init(k, k).real(), 0.0};
+    for (index_t l = k + 1; l < r; ++l) {
+      const cx avg = 0.5 * (init(k, l) + std::conj(init(l, k)));
+      init(k, l) = avg;
+      init(l, k) = std::conj(avg);
+    }
+  }
+  SolveResult red = solve_full(r, rp.reduced, opts, &init);
   result.q = FactoredHermitian(rp.basis_matrix(n), std::move(red.q));
   result.objective = red.objective;
   result.iterations = red.iterations;

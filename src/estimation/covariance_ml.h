@@ -46,6 +46,21 @@ CovarianceMlResult estimate_covariance_ml(
     index_t n, std::span<const BeamMeasurement> measurements,
     const CovarianceMlOptions& options);
 
+/// Warm-started variant for tracking (DESIGN.md §13): `prior` — typically
+/// last epoch's estimate, or a beam-space expansion of a resident session's
+/// component list — is projected onto the new measurements' beam span and
+/// used as the solver's initial iterate in place of the moment-based cold
+/// start. The optimization problem is IDENTICAL (same objective, same
+/// stationary points); only the starting point changes, so a good prior
+/// converges in a fraction of the iterations. An empty() prior falls back
+/// to estimate_covariance_ml bit-for-bit.
+/// Preconditions: those of estimate_covariance_ml; prior empty or of
+/// dimension n.
+CovarianceMlResult estimate_covariance_ml_warm(
+    index_t n, std::span<const BeamMeasurement> measurements,
+    const CovarianceMlOptions& options,
+    const linalg::FactoredHermitian& prior);
+
 /// Expectation-Maximization solver for the SAME maximum-likelihood problem
 /// (unregularized), treating the per-measurement effective channels h_j as
 /// latent variables — the estimator family of Eliasi, Rangan & Rappaport

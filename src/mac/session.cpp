@@ -105,35 +105,20 @@ void Session::arm_faults(const fault::FaultPlan* plan,
 
 real Session::probe_energy(index_t tx_beam, index_t rx_beam, index_t fades,
                            index_t slot) {
-  const linalg::Vector& u = tx_codebook_->codeword(tx_beam);
-  const linalg::Vector& v = rx_codebook_->codeword(rx_beam);
+  ProbeView view;
   // A blockage event is a large-scale transition: once active, every probe
   // (training or recovery) sees the degraded link until the session ends.
-  const channel::Link* link =
-      (fault_plan_ != nullptr && fault_plan_->has_blockage() &&
-       fault_plan_->blockage_active(slot))
-          ? degraded_link_
-          : link_;
-  // Bernoulli blockage shadows the whole slot, not individual fades.
-  const bool blocked = blockage_probability_ > 0.0 &&
-                       rng_->uniform() < blockage_probability_;
-  // Effective noise floor: thermal 1/γ plus the beam's mean co-channel
-  // interference power (multi-cell runs; 0 otherwise).
-  const real noise_var =
-      1.0 / gamma_ +
-      (interference_.empty() ? 0.0 : interference_[rx_beam]);
-  // Average matched-filter energy over the slot's independent fades.
-  real energy = 0.0;
-  for (index_t k = 0; k < fades; ++k) {
-    cx z = rng_->complex_normal(noise_var);
-    if (!blocked) {
-      link->draw_effective_channel_into(u, *rng_, fade_scratch_);
-      z += linalg::dot(v, fade_scratch_);
-    }
-    energy += std::norm(z);
-  }
-  if (blocked && obs::enabled()) SessionMetrics::get().blocked.add();
-  return energy / static_cast<real>(fades);
+  view.link = (fault_plan_ != nullptr && fault_plan_->has_blockage() &&
+               fault_plan_->blockage_active(slot))
+                  ? degraded_link_
+                  : link_;
+  view.tx_codebook = tx_codebook_;
+  view.rx_codebook = rx_codebook_;
+  view.gamma = gamma_;
+  view.blockage_probability = blockage_probability_;
+  view.interference = interference_;
+  return mac::probe_energy(view, tx_beam, rx_beam, fades, *rng_,
+                           fade_scratch_);
 }
 
 real Session::measure(index_t tx_beam, index_t rx_beam) {

@@ -23,6 +23,7 @@
 #include "antenna/codebook.h"
 #include "channel/link.h"
 #include "fault/fault.h"
+#include "mac/probe.h"
 #include "randgen/rng.h"
 
 namespace mmw::mac {

@@ -1,8 +1,13 @@
 #include "obs/manifest.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "obs/json.h"
 
@@ -91,6 +96,36 @@ std::string RunManifest::to_json() const {
     w.raw(metrics_json_);
   w.end_object();
   return std::move(w).str();
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  // VmHWM is the kernel's own high-water mark for resident pages; it
+  // survives any frees the allocator has since returned to the OS.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+        std::fclose(f);
+        return static_cast<std::uint64_t>(kb) * 1024u;
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  std::memset(&ru, 0, sizeof ru);
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;  // kB elsewhere
+#endif
+  }
+#endif
+  return 0;
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {

@@ -55,4 +55,11 @@ class RunManifest {
 /// output must never take down a run.
 bool write_text_file(const std::string& path, const std::string& content);
 
+/// Peak resident-set size of this process in bytes (Linux: VmHWM from
+/// /proc/self/status, falling back to getrusage ru_maxrss; 0 when neither
+/// source is available). Recorded in every bench manifest so memory claims
+/// — the serving engine's fixed-budget contract above all — are
+/// evidence-backed rather than asserted.
+std::uint64_t peak_rss_bytes();
+
 }  // namespace mmw::obs

@@ -1,0 +1,573 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "estimation/beamspace.h"
+#include "estimation/covariance_ml.h"
+#include "mac/probe.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mmw::serve {
+
+namespace {
+
+/// Key spaces of the serving streams (master seed = scenario.seed):
+///   key_a = 2·site      per-user randomness; key_b = user_key,
+///                       key_c = 0 the identity stream (drop → channel →
+///                       sojourn, replayable any epoch), key_c = e + 1 the
+///                       measurement stream of epoch e.
+///   key_a = 2·site + 1  per-site churn; key_b = 0, key_c = e the arrival
+///                       count of epoch e.
+/// Every lane is reconstructible by any shard without shared state, and no
+/// session's lane depends on any other session — the churn-invariance
+/// contract reduces to this key map.
+randgen::Rng identity_stream(std::uint64_t seed, index_t site,
+                             std::uint64_t user_key) {
+  return randgen::Rng::stream(seed, 2 * static_cast<std::uint64_t>(site),
+                              user_key, 0);
+}
+randgen::Rng epoch_stream(std::uint64_t seed, index_t site,
+                          std::uint64_t user_key, index_t epoch) {
+  return randgen::Rng::stream(seed, 2 * static_cast<std::uint64_t>(site),
+                              user_key,
+                              static_cast<std::uint64_t>(epoch) + 1);
+}
+randgen::Rng churn_stream(std::uint64_t seed, index_t site, index_t epoch) {
+  return randgen::Rng::stream(seed, 2 * static_cast<std::uint64_t>(site) + 1,
+                              0, static_cast<std::uint64_t>(epoch));
+}
+
+/// serve.* telemetry, published once per tick from the MERGED frame on the
+/// calling thread — recording never happens inside shards, so obs on/off
+/// cannot perturb per-thread anything (the CSV-equality contract).
+struct ServeMetrics {
+  obs::Counter stepped;
+  obs::Counter arrivals;
+  obs::Counter departures;
+  obs::Counter slots;
+  obs::Counter outages;
+  obs::Gauge live;
+  obs::Gauge mean_loss_db;
+  obs::Gauge resident_bytes;
+  obs::Gauge high_water_bytes;
+  static const ServeMetrics& get() {
+    static const ServeMetrics m{
+        obs::Registry::global().counter("serve.sessions.stepped"),
+        obs::Registry::global().counter("serve.sessions.arrivals"),
+        obs::Registry::global().counter("serve.sessions.departures"),
+        obs::Registry::global().counter("serve.align.slots"),
+        obs::Registry::global().counter("serve.track.outages"),
+        obs::Registry::global().gauge("serve.sessions.live"),
+        obs::Registry::global().gauge("serve.loss.mean_db"),
+        obs::Registry::global().gauge("serve.pool.resident_bytes"),
+        obs::Registry::global().gauge("serve.pool.high_water_bytes"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+/// Mergeable per-shard accumulator: fixed-size counters + a fixed-bucket
+/// loss histogram, so epoch metrics cost O(shards), never O(sessions).
+/// Merged in flat shard order; within a shard samples accumulate in
+/// ascending slot order — both orders are thread-count independent.
+struct ServingEngine::MetricFrame {
+  static constexpr index_t kLossBuckets = 12;
+  /// "le" upper bounds (dB); one implicit overflow bucket follows.
+  static constexpr real kLossBounds[kLossBuckets] = {
+      0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0};
+
+  std::uint64_t stepped = 0;
+  std::uint64_t aligning = 0;
+  std::uint64_t tracking = 0;
+  std::uint64_t outages = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t measurement_slots = 0;
+  std::uint64_t loss_count = 0;
+  real loss_sum = 0.0;
+  std::uint64_t loss_hist[kLossBuckets + 1] = {};
+
+  void record_loss(real db) {
+    ++loss_count;
+    loss_sum += db;
+    index_t b = 0;
+    while (b < kLossBuckets && db > kLossBounds[b]) ++b;
+    ++loss_hist[b];
+  }
+
+  void merge(const MetricFrame& o) {
+    stepped += o.stepped;
+    aligning += o.aligning;
+    tracking += o.tracking;
+    outages += o.outages;
+    arrivals += o.arrivals;
+    departures += o.departures;
+    measurement_slots += o.measurement_slots;
+    loss_count += o.loss_count;
+    loss_sum += o.loss_sum;
+    for (index_t b = 0; b <= kLossBuckets; ++b)
+      loss_hist[b] += o.loss_hist[b];
+  }
+
+  /// Bucketized p95: the upper bound of the first bucket whose cumulative
+  /// count reaches 95% (overflow reports the last bound — the histogram
+  /// cannot resolve further).
+  real p95_db() const {
+    if (loss_count == 0) return 0.0;
+    const std::uint64_t target =
+        loss_count - loss_count / 20;  // ceil-ish 95% in integers
+    std::uint64_t cum = 0;
+    for (index_t b = 0; b < kLossBuckets; ++b) {
+      cum += loss_hist[b];
+      if (cum >= target) return kLossBounds[b];
+    }
+    return kLossBounds[kLossBuckets - 1];
+  }
+};
+
+/// Per-thread reusable scratch of the step phase. Buffers are resized on
+/// first touch and reused for every subsequent session the thread steps, so
+/// the steady-state tracking path performs zero allocations and the
+/// alignment path only the transient link/estimator work.
+struct ServingEngine::Workspace {
+  linalg::Vector fade_scratch;
+  std::vector<real> scores;
+  std::vector<index_t> probe_rx;
+  std::vector<real> probe_energy;
+  std::vector<estimation::BeamComponent> prior;
+  std::vector<estimation::BeamComponent> update;
+  std::vector<estimation::BeamMeasurement> measurements;
+};
+
+ServingEngine::ServingEngine(ServeConfig config)
+    : config_(std::move(config)),
+      topology_(sim::Topology::build(config_.topology)),
+      codebooks_(sim::make_scenario_codebooks(config_.scenario)) {
+  MMW_REQUIRE_MSG(config_.scenario.gamma > 0.0, "gamma must be positive");
+  MMW_REQUIRE_MSG(config_.align_epochs >= 1,
+                  "need at least one alignment slot");
+  MMW_REQUIRE_MSG(config_.probes_per_slot >= 1,
+                  "need at least one probe per slot");
+  MMW_REQUIRE_MSG(config_.track_fades >= 1,
+                  "need at least one tracking fade");
+  MMW_REQUIRE_MSG(config_.collapse_db > 0.0,
+                  "collapse threshold must be positive dB");
+  MMW_REQUIRE_MSG(config_.forgetting >= 0.0 && config_.forgetting <= 1.0,
+                  "forgetting must be in [0, 1]");
+  MMW_REQUIRE_MSG(
+      config_.blockage_probability >= 0.0 &&
+          config_.blockage_probability <= 1.0,
+      "blockage probability must be in [0, 1]");
+  MMW_REQUIRE_MSG(config_.arrival_rate >= 0.0,
+                  "arrival rate must be non-negative");
+  MMW_REQUIRE_MSG(config_.mean_sojourn_epochs >= 0.0,
+                  "mean sojourn must be non-negative");
+  MMW_REQUIRE_MSG(config_.session_block > 0,
+                  "session block must be positive");
+  MMW_REQUIRE_MSG(codebooks_.rx.size() - 1 <= 0xffff &&
+                      codebooks_.tx.size() - 1 <= 0xffff,
+                  "codeword indices must fit the u16 session fields");
+  collapse_scale_ = std::pow(10.0, -config_.collapse_db / 10.0);
+  const index_t sites = topology_.n_cells();
+  pools_.reserve(sites);
+  for (index_t s = 0; s < sites; ++s)
+    pools_.emplace_back(config_.session_block);
+  next_user_key_.assign(sites, 0);
+  threads_ = core::resolve_thread_count(config_.scenario.threads);
+  if (threads_ > 1)
+    thread_pool_ = std::make_unique<core::ThreadPool>(threads_);
+}
+
+index_t ServingEngine::live_sessions() const {
+  index_t n = 0;
+  for (const SessionPool& p : pools_) n += p.live_count();
+  return n;
+}
+
+std::size_t ServingEngine::resident_bytes() const {
+  std::size_t n = 0;
+  for (const SessionPool& p : pools_) n += p.resident_bytes();
+  return n;
+}
+
+std::size_t ServingEngine::high_water_bytes() const {
+  std::size_t n = 0;
+  for (const SessionPool& p : pools_) n += p.high_water_bytes();
+  return n;
+}
+
+const UserSession* ServingEngine::find_session(index_t site,
+                                               std::uint64_t user_key) const {
+  MMW_REQUIRE(site < pools_.size());
+  const UserSession* found = nullptr;
+  pools_[site].for_each_live([&](index_t, const UserSession& s) {
+    if (s.user_key == user_key) found = &s;
+  });
+  return found;
+}
+
+void ServingEngine::admit_one(index_t site, MetricFrame& frame) {
+  const std::uint64_t key = next_user_key_[site]++;
+  // Identity stream, fixed draw order: drop (2 draws) → channel → sojourn.
+  // step_align replays the same prefix every alignment epoch.
+  randgen::Rng id = identity_stream(config_.scenario.seed, site, key);
+  const sim::UserPlacement drop = topology_.place_user(site, id);
+  const channel::Link link = sim::make_scenario_link(config_.scenario, id);
+
+  const index_t slot = pools_[site].allocate();
+  UserSession& s = pools_[site][slot];
+  s.user_key = key;
+  s.birth_epoch = static_cast<std::uint32_t>(epoch_);
+  if (config_.mean_sojourn_epochs > 0.0) {
+    const real sojourn =
+        std::min(id.exponential(config_.mean_sojourn_epochs), real{1e9});
+    s.departure_epoch = static_cast<std::uint32_t>(
+        epoch_ + 1 + static_cast<std::uint64_t>(sojourn));
+  }
+  // γ_eff folds the serving pathloss; the noise floor each probe sees.
+  const real gamma_eff =
+      config_.scenario.gamma * topology_.pathloss_gain(site, drop);
+  s.noise_var = static_cast<float>(1.0 / gamma_eff);
+  // The grading oracle reduced to one resident float: the best mean pair
+  // gain over the codebook product (the full PairGainOracle table would be
+  // O(T) per session — exactly the resident state this engine forbids).
+  real best = 0.0;
+  for (index_t tx = 0; tx < codebooks_.tx.size(); ++tx)
+    for (index_t rx = 0; rx < codebooks_.rx.size(); ++rx)
+      best = std::max(best,
+                      link.mean_pair_gain(codebooks_.tx.codeword(tx),
+                                          codebooks_.rx.codeword(rx)));
+  s.optimal_gain = static_cast<float>(best);
+  ++frame.arrivals;
+}
+
+void ServingEngine::churn_site(index_t site, MetricFrame& frame) {
+  SessionPool& pool = pools_[site];
+  // Departures first: their slots are reusable by this epoch's arrivals.
+  for (index_t slot = 0; slot < pool.capacity(); ++slot) {
+    if (pool.live(slot) && pool[slot].departure_epoch <= epoch_) {
+      pool.release(slot);
+      ++frame.departures;
+    }
+  }
+  std::uint64_t admissions = 0;
+  if (epoch_ == 0) {
+    const index_t sites = pools_.size();
+    admissions += config_.initial_sessions / sites +
+                  (site < config_.initial_sessions % sites ? 1 : 0);
+  }
+  if (config_.arrival_rate > 0.0)
+    admissions += churn_stream(config_.scenario.seed, site, epoch_)
+                      .poisson(config_.arrival_rate);
+  for (std::uint64_t i = 0; i < admissions; ++i) admit_one(site, frame);
+}
+
+void ServingEngine::step_track(index_t site, UserSession& s,
+                               MetricFrame& frame) {
+  randgen::Rng rng =
+      epoch_stream(config_.scenario.seed, site, s.user_key, epoch_);
+  // Matched-filter verification of the claimed pair WITHOUT the link: for
+  // Gaussian fades, z = vᴴHu + n is exactly CN(0, G + σ²) with
+  // G = mean_pair_gain(u, v) — the paper's eq. (9) energy law — so the
+  // fast path samples the law directly. Blockage shadows the slot to
+  // noise-only, as in mac::probe_energy.
+  const bool blocked =
+      config_.blockage_probability > 0.0 &&
+      rng.uniform() < config_.blockage_probability;
+  const real lambda =
+      (blocked ? 0.0 : static_cast<real>(s.claimed_gain)) +
+      static_cast<real>(s.noise_var);
+  real energy = 0.0;
+  for (index_t k = 0; k < config_.track_fades; ++k)
+    energy += std::norm(rng.complex_normal(lambda));
+  energy /= static_cast<real>(config_.track_fades);
+
+  ++frame.tracking;
+  const real claimed = std::max(static_cast<real>(s.claimed_gain), 1e-12);
+  frame.record_loss(10.0 *
+                    std::log10(static_cast<real>(s.optimal_gain) / claimed));
+  if (energy < static_cast<real>(s.trained_energy) * collapse_scale_) {
+    ++frame.outages;
+    // Warm re-entry: the beam-space covariance survives, so re-alignment
+    // starts from last epoch's angular knowledge, not from scratch.
+    s.aligning = 1;
+    s.slots_aligned = 0;
+    s.trained_energy = -1.0f;
+    if (s.realigns != 0xff) ++s.realigns;
+  }
+}
+
+void ServingEngine::step_align(index_t site, UserSession& s,
+                               MetricFrame& frame, Workspace& ws) {
+  const sim::Scenario& sc = config_.scenario;
+  // Rebuild the session's channel from the identity stream (same prefix as
+  // admit_one: 2 placement draws, then the link).
+  randgen::Rng id = identity_stream(sc.seed, site, s.user_key);
+  topology_.place_user(site, id);
+  const channel::Link link = sim::make_scenario_link(sc, id);
+  randgen::Rng rng = epoch_stream(sc.seed, site, s.user_key, epoch_);
+
+  const index_t n_tx = codebooks_.tx.size();
+  const index_t n_rx = codebooks_.rx.size();
+  const index_t j = std::min(config_.probes_per_slot, n_rx);
+  const real noise_var = static_cast<real>(s.noise_var);
+
+  // TX dwell beam for the slot: a deterministic sweep — slot k dwells on
+  // beam (user_key + k) mod M, so align_epochs ≥ M covers the whole TX
+  // codebook and the per-session offset spreads concurrent aligners evenly
+  // over it. The RX probe set is the top-(J−1) codewords of the resident
+  // covariance (the paper's covariance-directed measurement) with the
+  // remainder drawn uniformly for exploration; a fresh session (rank 0)
+  // probes all-random.
+  const index_t tx = static_cast<index_t>(
+      (s.user_key + s.slots_aligned) % static_cast<std::uint64_t>(n_tx));
+  ws.probe_rx.clear();
+  if (s.rank > 0) {
+    ws.prior.clear();
+    for (index_t i = 0; i < s.rank; ++i)
+      ws.prior.push_back({static_cast<index_t>(s.comp_beam[i]),
+                          static_cast<real>(s.comp_weight[i])});
+    const linalg::FactoredHermitian q =
+        estimation::expand_beam_space(ws.prior, codebooks_.rx);
+    if (!q.empty()) {
+      if (ws.scores.size() != n_rx) ws.scores.assign(n_rx, 0.0);
+      codebooks_.rx.covariance_scores_into(q, ws.scores);
+      const index_t top = j > 1 ? j - 1 : 1;  // j > 1 keeps one explore slot
+      for (index_t pick = 0; pick < top; ++pick) {
+        index_t best = n_rx;
+        real best_score = 0.0;
+        for (index_t v = 0; v < n_rx; ++v) {
+          if (!(ws.scores[v] > best_score)) continue;  // ties → lowest v
+          if (std::find(ws.probe_rx.begin(), ws.probe_rx.end(), v) !=
+              ws.probe_rx.end())
+            continue;
+          best = v;
+          best_score = ws.scores[v];
+        }
+        if (best == n_rx) break;  // covariance has no more positive mass
+        ws.probe_rx.push_back(best);
+      }
+    }
+  }
+  // Exploration picks: a deterministic cursor sweep over the RX codebook
+  // (s.cursor already counts probes spent, so consecutive slots continue
+  // where the last stopped; the key offset decorrelates sessions). Unlike
+  // random draws this never re-probes a beam before wrapping, so a fresh
+  // session covers all N beams in ⌈N/J⌉ slots.
+  index_t cand = static_cast<index_t>(
+      (s.user_key + s.cursor) % static_cast<std::uint64_t>(n_rx));
+  while (ws.probe_rx.size() < j) {
+    while (std::find(ws.probe_rx.begin(), ws.probe_rx.end(), cand) !=
+           ws.probe_rx.end())
+      cand = (cand + 1) % n_rx;
+    ws.probe_rx.push_back(cand);
+    cand = (cand + 1) % n_rx;
+  }
+  // Canonical measurement order (ascending RX index): the probe loop's
+  // draw sequence and the update list's order are both pinned by it.
+  std::sort(ws.probe_rx.begin(), ws.probe_rx.end());
+
+  if (ws.fade_scratch.size() != link.rx_size())
+    ws.fade_scratch = linalg::Vector(link.rx_size());
+  mac::ProbeView view;
+  view.link = &link;
+  view.tx_codebook = &codebooks_.tx;
+  view.rx_codebook = &codebooks_.rx;
+  view.gamma = 1.0 / noise_var;
+  view.blockage_probability = config_.blockage_probability;
+
+  ws.probe_energy.clear();
+  for (const index_t rx : ws.probe_rx) {
+    const real e = mac::probe_energy(view, tx, rx, sc.fades_per_measurement,
+                                     rng, ws.fade_scratch);
+    ws.probe_energy.push_back(e);
+    if (e > static_cast<real>(s.trained_energy)) {
+      s.trained_energy = static_cast<float>(e);
+      s.tx_beam = static_cast<std::uint16_t>(tx);
+      s.rx_beam = static_cast<std::uint16_t>(rx);
+    }
+  }
+  frame.measurement_slots += j;
+  s.cursor += static_cast<std::uint32_t>(j);
+
+  // Fold the slot's energies into the resident beam-space covariance.
+  ws.prior.clear();
+  for (index_t i = 0; i < s.rank; ++i)
+    ws.prior.push_back({static_cast<index_t>(s.comp_beam[i]),
+                        static_cast<real>(s.comp_weight[i])});
+  std::vector<estimation::BeamComponent> merged;
+  if (config_.estimator == EstimatorKind::kWarmMl) {
+    ws.measurements.clear();
+    for (index_t i = 0; i < ws.probe_rx.size(); ++i)
+      ws.measurements.push_back(
+          {codebooks_.rx.codeword(ws.probe_rx[i]), ws.probe_energy[i]});
+    estimation::CovarianceMlOptions opts;
+    opts.gamma = 1.0 / noise_var;
+    opts.max_iterations = 40;
+    opts.tolerance = 1e-4;
+    const linalg::FactoredHermitian prior =
+        estimation::expand_beam_space(ws.prior, codebooks_.rx);
+    const estimation::CovarianceMlResult res =
+        estimation::estimate_covariance_ml_warm(n_rx, ws.measurements, opts,
+                                                prior);
+    if (ws.scores.size() != n_rx) ws.scores.assign(n_rx, 0.0);
+    merged = estimation::compress_to_beam_space(res.q, codebooks_.rx,
+                                                kMaxComponents, ws.scores);
+    // Forgetting still applies across slots: ML re-solves from this slot's
+    // measurements, so blend like the moment path.
+    merged = estimation::merge_beam_space(ws.prior, config_.forgetting,
+                                          merged, kMaxComponents);
+  } else {
+    ws.update.clear();
+    for (index_t i = 0; i < ws.probe_rx.size(); ++i) {
+      const real w = std::max(ws.probe_energy[i] - noise_var, 0.0);
+      if (w > 0.0) ws.update.push_back({ws.probe_rx[i], w});
+    }
+    merged = estimation::merge_beam_space(ws.prior, config_.forgetting,
+                                          ws.update, kMaxComponents);
+  }
+  s.rank = static_cast<std::uint8_t>(merged.size());
+  for (index_t i = 0; i < kMaxComponents; ++i) {
+    s.comp_beam[i] =
+        i < merged.size() ? static_cast<std::uint16_t>(merged[i].beam) : 0;
+    s.comp_weight[i] =
+        i < merged.size() ? static_cast<float>(merged[i].weight) : 0.0f;
+  }
+
+  ++frame.aligning;
+  ++s.slots_aligned;
+  if (s.slots_aligned >= config_.align_epochs &&
+      s.trained_energy >= 0.0f) {
+    // Claim the best measured pair and drop to the tracking fast path.
+    s.aligning = 0;
+    s.claimed_gain = static_cast<float>(link.mean_pair_gain(
+        codebooks_.tx.codeword(s.tx_beam), codebooks_.rx.codeword(s.rx_beam)));
+  }
+}
+
+void ServingEngine::step_shard(index_t site, index_t slab,
+                               MetricFrame& frame) {
+  static thread_local Workspace tls_workspace;
+  Workspace& ws = tls_workspace;
+  pools_[site].for_each_live_in_slab(slab, [&](index_t, UserSession& s) {
+    if (s.aligning != 0)
+      step_align(site, s, frame, ws);
+    else
+      step_track(site, s, frame);
+    ++frame.stepped;
+  });
+}
+
+void ServingEngine::publish_obs(const MetricFrame& total) const {
+  if (!obs::enabled()) return;
+  const ServeMetrics& m = ServeMetrics::get();
+  m.stepped.add(total.stepped);
+  m.arrivals.add(total.arrivals);
+  m.departures.add(total.departures);
+  m.slots.add(total.measurement_slots);
+  m.outages.add(total.outages);
+  m.live.set(static_cast<real>(live_sessions()));
+  if (total.loss_count > 0)
+    m.mean_loss_db.set(total.loss_sum /
+                       static_cast<real>(total.loss_count));
+  m.resident_bytes.set(static_cast<real>(resident_bytes()));
+  m.high_water_bytes.set(static_cast<real>(high_water_bytes()));
+}
+
+EpochReport ServingEngine::step_epoch() {
+  obs::TraceScope span("serve.epoch", "serve");
+  span.arg("epoch", static_cast<double>(epoch_));
+  const index_t sites = pools_.size();
+
+  // Phase 1 — churn, sharded by site (each site's pool and key counter are
+  // touched by exactly one iteration).
+  std::vector<MetricFrame> churn_frames(sites);
+  if (thread_pool_ && sites > 1) {
+    thread_pool_->parallel_for(
+        0, sites, [&](index_t site) { churn_site(site, churn_frames[site]); });
+  } else {
+    for (index_t site = 0; site < sites; ++site)
+      churn_site(site, churn_frames[site]);
+  }
+
+  // Phase 2 — step every live session, sharded (site × slab).
+  shards_.clear();
+  for (index_t site = 0; site < sites; ++site)
+    for (index_t slab = 0; slab < pools_[site].n_slabs(); ++slab)
+      if (pools_[site].live_in_slab(slab) > 0) shards_.emplace_back(site, slab);
+  std::vector<MetricFrame> step_frames(shards_.size());
+  const obs::WallTimer step_timer;
+  if (thread_pool_ && shards_.size() > 1) {
+    thread_pool_->parallel_for(0, shards_.size(), [&](index_t i) {
+      step_shard(shards_[i].first, shards_[i].second, step_frames[i]);
+    });
+  } else {
+    for (index_t i = 0; i < shards_.size(); ++i)
+      step_shard(shards_[i].first, shards_[i].second, step_frames[i]);
+  }
+  step_seconds_ += step_timer.seconds();
+
+  // Reduce in flat shard order — parallel output == serial output.
+  MetricFrame total;
+  for (const MetricFrame& f : churn_frames) total.merge(f);
+  for (const MetricFrame& f : step_frames) total.merge(f);
+
+  EpochReport r;
+  r.epoch = epoch_;
+  r.live_sessions = total.stepped;
+  r.arrivals = total.arrivals;
+  r.departures = total.departures;
+  r.aligning_steps = total.aligning;
+  r.tracking_steps = total.tracking;
+  r.outages = total.outages;
+  r.measurement_slots = total.measurement_slots;
+  r.loss_samples = total.loss_count;
+  r.mean_loss_db = total.loss_count > 0
+                       ? total.loss_sum / static_cast<real>(total.loss_count)
+                       : 0.0;
+  r.p95_loss_db = total.p95_db();
+
+  sessions_stepped_ += total.stepped;
+  peak_live_ = std::max<std::uint64_t>(peak_live_, live_sessions());
+  publish_obs(total);
+  ++epoch_;
+  return r;
+}
+
+ServeResult ServingEngine::run() {
+  ServeResult result;
+  result.epochs.reserve(config_.epochs);
+  for (index_t e = 0; e < config_.epochs; ++e)
+    result.epochs.push_back(step_epoch());
+  result.sessions_stepped = sessions_stepped_;
+  result.peak_live_sessions = peak_live_;
+  result.step_seconds = step_seconds_;
+  result.resident_bytes = resident_bytes();
+  result.high_water_bytes = high_water_bytes();
+  return result;
+}
+
+std::string render_serving_csv(const std::vector<EpochReport>& epochs) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  os << "epoch,live_sessions,arrivals,departures,aligning_steps,"
+        "tracking_steps,outages,measurement_slots,loss_samples,"
+        "mean_loss_db,p95_loss_db\n";
+  for (const EpochReport& r : epochs) {
+    os << r.epoch << ',' << r.live_sessions << ',' << r.arrivals << ','
+       << r.departures << ',' << r.aligning_steps << ',' << r.tracking_steps
+       << ',' << r.outages << ',' << r.measurement_slots << ','
+       << r.loss_samples << ',' << r.mean_loss_db << ',' << r.p95_loss_db
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mmw::serve

@@ -1,0 +1,202 @@
+// The city-scale serving engine: a long-running, epoch-driven alignment
+// service over a sim::Topology of sites, holding millions of resident
+// UserSessions at a fixed per-session byte budget (DESIGN.md §13).
+//
+// Each tick (step_epoch) runs two phases:
+//
+//  1. CHURN, sharded by site: sessions past their departure epoch release
+//     their slab slot; Poisson(arrival_rate) new users are admitted per
+//     site. Admission realizes the user once from its identity stream
+//     (drop → channel → sojourn), reduces the grading oracle to one float
+//     (the best mean pair gain), and keeps nothing else resident.
+//
+//  2. STEP, sharded by (site × slab): every live session advances one
+//     epoch. An ALIGNING session rebuilds its link from the identity
+//     stream, spends one measurement slot (probes_per_slot matched-filter
+//     probes through mac::probe_energy — the same chain as mac::Session),
+//     and folds the observed energies into its beam-space covariance; after
+//     align_epochs slots it claims its best pair and drops to TRACKING. A
+//     tracking session costs O(track_fades) with NO link rebuild: a
+//     matched-filter probe of the claimed pair is distribution-equivalent
+//     to drawing z ~ CN(0, G + σ²) per fade, so the fast path samples that
+//     law directly and applies the mac::Session collapse test; an outage
+//     re-enters alignment warm (the beam-space covariance survives).
+//
+// Determinism contract (the fig5–8 contract, extended to churn): every
+// random quantity is drawn from a shared-state-free stream keyed by
+// (seed, site, user_key, epoch) — identity key_c = 0, epoch streams
+// key_c = epoch + 1, arrival counts on a separate per-site key_a lane — so
+// a session's trajectory depends only on its own identity and the epoch
+// clock. Metrics are per-shard MetricFrames merged in shard order.
+// Consequences, enforced by tests/serve/serve_test.cpp: rendered CSVs are
+// byte-identical across thread counts and obs on/off, and arrivals or
+// departures of OTHER sessions never perturb a survivor (churn
+// invariance).
+//
+// Memory contract: resident state is the slab pools (sizeof(UserSession) +
+// one liveness byte per slot, plus free-list/slab bookkeeping) — O(peak
+// sessions), no N×N lifts, no per-trial result vectors; metrics are O(1)
+// per shard. resident_bytes()/high_water_bytes() report the exact
+// accounting, recorded in every E9 manifest next to peak RSS.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "serve/slab.h"
+#include "sim/scenario.h"
+#include "sim/topology.h"
+
+namespace mmw::serve {
+
+/// How an aligning session turns a slot's probe energies into its resident
+/// beam-space covariance.
+enum class EstimatorKind {
+  /// Moment excess (energy − noise)₊ per probed beam, merged with
+  /// exponential forgetting — allocation-light, the serving default.
+  kBeamSpace,
+  /// Per-slot regularized ML solve warm-started from the resident prior
+  /// (estimation::estimate_covariance_ml_warm), compressed back to beam
+  /// space. The paper-faithful estimator; ~10× the alignment-slot cost.
+  kWarmMl,
+};
+
+struct ServeConfig {
+  /// Channel/codebook/gamma/fades knobs plus seed and threads. `trials` is
+  /// ignored — the serving engine has sessions, not trials.
+  sim::Scenario scenario;
+  /// Site layout; topology.cells is the site count, users_per_cell is
+  /// ignored (population comes from initial_sessions + churn).
+  sim::TopologyConfig topology;
+
+  /// Sessions admitted (round-robin over sites) by the first tick's churn
+  /// phase, before any arrivals.
+  index_t initial_sessions = 0;
+  /// Ticks run() executes.
+  index_t epochs = 8;
+  /// Poisson mean arrivals per site per epoch (0 = closed population).
+  real arrival_rate = 0.0;
+  /// Mean sojourn (epochs) drawn exponentially at admission; 0 = immortal.
+  real mean_sojourn_epochs = 0.0;
+
+  /// Alignment slots before a session claims its pair and starts tracking.
+  index_t align_epochs = 2;
+  /// Matched-filter probes per alignment slot (the paper's J).
+  index_t probes_per_slot = 4;
+  /// Fades averaged per tracking-epoch verification probe.
+  index_t track_fades = 2;
+  /// Outage declaration: tracked energy fell this many dB below the
+  /// trained energy (mac::Session::RealignmentPolicy semantics).
+  real collapse_db = 10.0;
+  /// Beam-space forgetting factor ρ: prior weights scale by ρ each
+  /// alignment slot (1 = accumulate forever).
+  real forgetting = 0.7;
+  /// Per-slot Bernoulli blockage probability (alignment and tracking).
+  real blockage_probability = 0.0;
+
+  EstimatorKind estimator = EstimatorKind::kBeamSpace;
+
+  /// Sessions per slab — the allocator grain AND the step-shard grain.
+  index_t session_block = 4096;
+};
+
+/// Streaming per-epoch aggregate (merged MetricFrames; O(1) memory).
+struct EpochReport {
+  index_t epoch = 0;
+  std::uint64_t live_sessions = 0;  ///< after churn, i.e. sessions stepped
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t aligning_steps = 0;
+  std::uint64_t tracking_steps = 0;
+  std::uint64_t outages = 0;        ///< collapse-test failures this epoch
+  std::uint64_t measurement_slots = 0;  ///< training slots spent this epoch
+  std::uint64_t loss_samples = 0;   ///< tracking sessions contributing loss
+  real mean_loss_db = 0.0;          ///< mean claimed-vs-optimal SNR loss
+  real p95_loss_db = 0.0;           ///< bucketized (histogram upper bound)
+};
+
+struct ServeResult {
+  std::vector<EpochReport> epochs;
+  std::uint64_t sessions_stepped = 0;  ///< Σ live_sessions over epochs
+  std::uint64_t peak_live_sessions = 0;
+  double step_seconds = 0.0;  ///< wall time of the step phases only
+  std::size_t resident_bytes = 0;      ///< Σ pool resident_bytes at end
+  std::size_t high_water_bytes = 0;    ///< Σ pool high-water bytes
+};
+
+class ServingEngine {
+ public:
+  /// Builds topology, codebooks, and one empty slab pool per site. The
+  /// thread pool (scenario.threads, 0 = auto) is created once here and
+  /// reused by every tick.
+  explicit ServingEngine(ServeConfig config);
+
+  /// One tick: churn then step, as described above. Epochs are numbered
+  /// from 0; the first call admits initial_sessions.
+  EpochReport step_epoch();
+
+  /// Runs config.epochs ticks and returns the streamed reports + totals.
+  ServeResult run();
+
+  const ServeConfig& config() const { return config_; }
+  index_t current_epoch() const { return epoch_; }
+  index_t n_sites() const { return pools_.size(); }
+  index_t live_sessions() const;
+  std::uint64_t peak_live_sessions() const { return peak_live_; }
+  std::uint64_t sessions_stepped() const { return sessions_stepped_; }
+  double step_seconds() const { return step_seconds_; }
+
+  /// Resident-memory accounting summed over every site pool.
+  std::size_t resident_bytes() const;
+  std::size_t high_water_bytes() const;
+
+  /// The live session with this identity, or nullptr. O(site capacity) —
+  /// a test/debug accessor, not a serving-path API.
+  const UserSession* find_session(index_t site, std::uint64_t user_key) const;
+
+  /// Ascending (site, slot) iteration over every live session.
+  template <class F>
+  void for_each_session(F&& f) const {
+    for (index_t site = 0; site < pools_.size(); ++site)
+      pools_[site].for_each_live(
+          [&](index_t, const UserSession& s) { f(site, s); });
+  }
+
+ private:
+  struct MetricFrame;
+  struct Workspace;
+
+  void churn_site(index_t site, MetricFrame& frame);
+  void admit_one(index_t site, MetricFrame& frame);
+  void step_shard(index_t site, index_t slab, MetricFrame& frame);
+  void step_align(index_t site, UserSession& s, MetricFrame& frame,
+                  Workspace& ws);
+  void step_track(index_t site, UserSession& s, MetricFrame& frame);
+  void publish_obs(const MetricFrame& total) const;
+
+  ServeConfig config_;
+  sim::Topology topology_;
+  sim::CodebookPair codebooks_;
+  real collapse_scale_ = 0.1;  ///< 10^(−collapse_db/10)
+  std::vector<SessionPool> pools_;            ///< one per site
+  std::vector<std::uint64_t> next_user_key_;  ///< per-site arrival ordinal
+  index_t epoch_ = 0;
+  index_t threads_ = 1;
+  std::unique_ptr<core::ThreadPool> thread_pool_;  ///< null when serial
+
+  std::uint64_t peak_live_ = 0;
+  std::uint64_t sessions_stepped_ = 0;
+  double step_seconds_ = 0.0;
+
+  /// Per-epoch scratch, reused across ticks (no per-epoch heap growth
+  /// once the shard count stabilizes).
+  std::vector<std::pair<index_t, index_t>> shards_;  ///< (site, slab)
+};
+
+/// Renders epoch reports as the E9 CSV (fixed 6-digit reals — the byte
+/// format the determinism tests compare).
+std::string render_serving_csv(const std::vector<EpochReport>& epochs);
+
+}  // namespace mmw::serve

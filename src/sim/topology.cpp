@@ -94,6 +94,11 @@ UserPlacement Topology::place_user(index_t cell, randgen::Rng& rng) const {
   return {s.x + radius * std::cos(angle), s.y + radius * std::sin(angle)};
 }
 
+real Topology::pathloss_gain(index_t cell, const UserPlacement& user) const {
+  return std::pow(config_.min_distance_m / distance(cell, user),
+                  config_.pathloss_exponent);
+}
+
 real Topology::coupling(index_t interferer, index_t serving,
                         const UserPlacement& user) const {
   MMW_REQUIRE_MSG(interferer != serving,

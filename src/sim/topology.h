@@ -81,6 +81,13 @@ class Topology {
   /// stream offset regardless of the drop's outcome.
   UserPlacement place_user(index_t cell, randgen::Rng& rng) const;
 
+  /// Serving-link pathloss gain of a user relative to the closest possible
+  /// drop: (min_distance_m / d)^α ∈ (0, 1], equal to 1 at the min-distance
+  /// clamp. The serving engine scales each session's effective SNR by this,
+  /// so cell-edge users align against a genuinely lower γ than cell-center
+  /// users (the heterogeneity a city-scale run is supposed to have).
+  real pathloss_gain(index_t cell, const UserPlacement& user) const;
+
   /// Relative mean power of interfering site `interferer` at a victim user
   /// served by `serving`: (d_serving / d_interferer)^α with both distances
   /// clamped by min_distance_m. Equals 1 when the interferer is as far as

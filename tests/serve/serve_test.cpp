@@ -1,0 +1,201 @@
+// ServingEngine (src/serve/): the determinism and fixed-memory contracts
+// of the city-scale serving runtime.
+//
+//  - Thread-count invariance: the rendered per-epoch CSV is byte-identical
+//    for --threads 1/2/4/auto (the fig5–8 contract extended to serving).
+//  - Obs invariance: instrumentation on/off never changes results.
+//  - Churn invariance: arrivals and departures of OTHER sessions never
+//    perturb a surviving session's resident state — a session's trajectory
+//    is a pure function of (seed, site, user_key, epoch).
+//  - Alignment lifecycle: sessions claim pairs after align_epochs slots,
+//    loss is nonnegative, blockage drives outages and re-alignment.
+#include "serve/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace mmw::serve {
+namespace {
+
+// Tiny deployment: TX 2×1 (M = 2), RX 2×2 (N = 4), 4 hex sites — big
+// enough to exercise multi-site sharding and churn, small enough that the
+// whole suite re-runs the engine many times in well under a second each.
+ServeConfig tiny_config() {
+  ServeConfig cfg;
+  cfg.scenario.channel = sim::ChannelKind::kSinglePath;
+  cfg.scenario.tx_grid_x = 2;
+  cfg.scenario.tx_grid_y = 1;
+  cfg.scenario.rx_grid_x = 2;
+  cfg.scenario.rx_grid_y = 2;
+  cfg.scenario.fades_per_measurement = 2;
+  cfg.scenario.gamma = 1000.0;  // cell-edge users stay alignable
+  cfg.scenario.seed = 7;
+  cfg.scenario.threads = 1;
+  cfg.topology.cells = 4;
+  cfg.initial_sessions = 120;
+  cfg.epochs = 6;
+  cfg.align_epochs = 2;
+  cfg.probes_per_slot = 3;
+  cfg.session_block = 16;  // several slabs per site → real shard fan-out
+  return cfg;
+}
+
+std::string run_csv(ServeConfig cfg, index_t threads) {
+  cfg.scenario.threads = threads;
+  ServingEngine engine(cfg);
+  return render_serving_csv(engine.run().epochs);
+}
+
+TEST(ServingEngine, CsvIsByteIdenticalAcrossThreadCounts) {
+  const ServeConfig cfg = tiny_config();
+  const std::string serial = run_csv(cfg, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run_csv(cfg, 2));
+  EXPECT_EQ(serial, run_csv(cfg, 4));
+  EXPECT_EQ(serial, run_csv(cfg, 0));  // auto
+}
+
+TEST(ServingEngine, CsvIsByteIdenticalAcrossThreadCountsUnderChurn) {
+  ServeConfig cfg = tiny_config();
+  cfg.arrival_rate = 3.0;
+  cfg.mean_sojourn_epochs = 4.0;
+  const std::string serial = run_csv(cfg, 1);
+  EXPECT_EQ(serial, run_csv(cfg, 2));
+  EXPECT_EQ(serial, run_csv(cfg, 4));
+}
+
+TEST(ServingEngine, ObsOnOffNeverChangesResults) {
+  const ServeConfig cfg = tiny_config();
+  const bool was = obs::enabled();
+  obs::set_enabled(true);
+  const std::string with_obs = run_csv(cfg, 2);
+  obs::set_enabled(false);
+  const std::string without = run_csv(cfg, 2);
+  obs::set_enabled(was);
+  EXPECT_EQ(with_obs, without);
+}
+
+TEST(ServingEngine, RerunIsExactlyReproducible) {
+  const ServeConfig cfg = tiny_config();
+  ServingEngine a(cfg);
+  ServingEngine b(cfg);
+  const ServeResult ra = a.run();
+  const ServeResult rb = b.run();
+  EXPECT_EQ(ra.sessions_stepped, rb.sessions_stepped);
+  EXPECT_EQ(ra.peak_live_sessions, rb.peak_live_sessions);
+  EXPECT_EQ(render_serving_csv(ra.epochs), render_serving_csv(rb.epochs));
+}
+
+// The churn-invariance contract: run a closed population next to an open
+// one (same seed, same sojourns). Initial-cohort sessions that survive in
+// both must hold BIT-IDENTICAL resident state — neighbours arriving or
+// departing around them contributes nothing to their trajectory.
+TEST(ServingEngine, ChurnNeverPerturbsSurvivingSessions) {
+  ServeConfig closed = tiny_config();
+  closed.mean_sojourn_epochs = 8.0;  // same identity-stream draws as open
+  ServeConfig open = closed;
+  open.arrival_rate = 5.0;
+
+  ServingEngine a(closed);
+  ServingEngine b(open);
+  a.run();
+  b.run();
+  EXPECT_GT(b.peak_live_sessions(), a.peak_live_sessions());  // churn happened
+
+  const index_t per_site = closed.initial_sessions / 4;
+  index_t compared = 0;
+  for (index_t site = 0; site < a.n_sites(); ++site) {
+    for (std::uint64_t key = 0; key < per_site; ++key) {
+      const UserSession* sa = a.find_session(site, key);
+      const UserSession* sb = b.find_session(site, key);
+      // Same sojourn draws → departed in one iff departed in the other.
+      ASSERT_EQ(sa == nullptr, sb == nullptr);
+      if (sa == nullptr) continue;
+      EXPECT_EQ(0, std::memcmp(sa, sb, sizeof(UserSession)));
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 50u);  // the comparison actually covered the cohort
+}
+
+TEST(ServingEngine, SessionsClaimPairsAndTrack) {
+  ServeConfig cfg = tiny_config();
+  ServingEngine engine(cfg);
+  const ServeResult r = engine.run();
+
+  // After align_epochs slots every immortal session is tracking.
+  index_t tracking = 0;
+  engine.for_each_session([&](index_t, const UserSession& s) {
+    if (s.aligning == 0) {
+      ++tracking;
+      EXPECT_GT(s.claimed_gain, 0.0f);
+      EXPECT_GE(s.optimal_gain, s.claimed_gain);  // oracle bound ⇒ loss ≥ 0
+      EXPECT_GE(s.trained_energy, 0.0f);
+      EXPECT_GT(s.rank, 0);
+    }
+  });
+  EXPECT_GT(tracking, 0u);
+
+  // Per-epoch ledger: epoch 0 admits everyone; alignment spends exactly
+  // align_epochs slots; afterwards the population tracks.
+  ASSERT_EQ(r.epochs.size(), cfg.epochs);
+  EXPECT_EQ(r.epochs.front().arrivals, cfg.initial_sessions);
+  EXPECT_EQ(r.epochs.front().aligning_steps, cfg.initial_sessions);
+  EXPECT_GT(r.epochs.back().tracking_steps, 0u);
+  EXPECT_GT(r.epochs.back().loss_samples, 0u);
+  EXPECT_GE(r.epochs.back().mean_loss_db, 0.0);
+}
+
+TEST(ServingEngine, BlockageDrivesOutagesAndRealignment) {
+  ServeConfig cfg = tiny_config();
+  cfg.epochs = 10;
+  cfg.blockage_probability = 0.4;
+  ServingEngine engine(cfg);
+  const ServeResult r = engine.run();
+  std::uint64_t outages = 0;
+  for (const EpochReport& e : r.epochs) outages += e.outages;
+  EXPECT_GT(outages, 0u);
+  index_t realigned = 0;
+  engine.for_each_session([&](index_t, const UserSession& s) {
+    if (s.realigns > 0) ++realigned;
+  });
+  EXPECT_GT(realigned, 0u);
+}
+
+TEST(ServingEngine, ResidentMemoryIsBudgetedAndMonotone) {
+  ServeConfig cfg = tiny_config();
+  cfg.arrival_rate = 4.0;
+  cfg.mean_sojourn_epochs = 3.0;
+  ServingEngine engine(cfg);
+  const ServeResult r = engine.run();
+  EXPECT_GT(r.resident_bytes, 0u);
+  EXPECT_GE(r.high_water_bytes, r.resident_bytes);
+  // The accounting at least covers every peak-live session's cell, and
+  // slab quantization bounds it above by whole slabs.
+  EXPECT_GE(r.high_water_bytes,
+            r.peak_live_sessions * sizeof(UserSession));
+  EXPECT_LE(r.high_water_bytes,
+            (r.peak_live_sessions + engine.n_sites() * cfg.session_block) *
+                (sizeof(UserSession) + 16));
+}
+
+TEST(ServingEngine, EpochReportsAreStreamedNotResident) {
+  // O(sessions + buckets) memory: the per-epoch report count equals the
+  // epoch count and session count never inflates it.
+  ServeConfig cfg = tiny_config();
+  cfg.epochs = 12;
+  ServingEngine engine(cfg);
+  const ServeResult r = engine.run();
+  EXPECT_EQ(r.epochs.size(), 12u);
+  std::uint64_t stepped = 0;
+  for (const EpochReport& e : r.epochs) stepped += e.live_sessions;
+  EXPECT_EQ(stepped, r.sessions_stepped);
+}
+
+}  // namespace
+}  // namespace mmw::serve

@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Flag slot-cycle performance regressions against the committed baseline.
+"""Flag performance regressions against the committed baselines.
 
-The committed bench_results/BENCH_micro_linalg.json records the BM_SlotCycle*
-timings of the batched-SIMD scoring path (PR 7). This script compares a
-fresh google-benchmark JSON run against it and fails when any gated
-benchmark got slower than the baseline by more than --tolerance — catching
-accidental de-optimization of the per-slot hot path (a dropped kernel
-dispatch, a reintroduced per-codeword temporary, an arena that stopped
-reusing memory) before it merges.
+Two gates live here:
+
+**Slot-cycle gate** (``--current``): the committed
+bench_results/BENCH_micro_linalg.json records the BM_SlotCycle* timings of
+the batched-SIMD scoring path (PR 7). A fresh google-benchmark JSON run is
+compared against it and the gate fails when any gated benchmark got slower
+than the baseline by more than --tolerance — catching accidental
+de-optimization of the per-slot hot path (a dropped kernel dispatch, a
+reintroduced per-codeword temporary, an arena that stopped reusing memory)
+before it merges.
 
 Machine-speed differences between the baseline recorder and the CI runner
 are cancelled exactly as in check_obs_overhead.py: the current run is
@@ -21,40 +24,41 @@ this gate compares kernel-bound timings across heterogeneous runners,
 where calibration cancels scale but not microarchitectural differences in
 SIMD throughput.
 
+**Serving gate** (``--serving-current``): the committed
+bench_results/BENCH_serving.json records the E9 serving-engine sweep
+(users/sec/core and bytes/session per scale). A fresh BENCH_serving.json —
+any subset of the baseline's scales, e.g. the CI 10k smoke — is checked
+for (a) per-session memory: bytes_per_session must not exceed the baseline
+(the slab accounting is deterministic, so any growth is a real regression)
+and the session struct must fit its byte budget; (b) throughput:
+users/sec/core must stay within --serving-tolerance of the baseline
+(default 50% — wall-clock throughput across heterogeneous uncalibrated
+runners is a tripwire for order-of-magnitude regressions, not a precision
+gate).
+
 Usage:
   python3 tools/check_bench_regression.py --current BENCH_micro_linalg.json
   python3 tools/check_bench_regression.py --current run1.json --current run2.json \
       --tolerance 0.10 --filter BM_SlotCycleFactored
+  python3 tools/check_bench_regression.py --serving-current bench_results/BENCH_serving.json
+  python3 tools/check_bench_regression.py --current new.json \
+      --serving-current new_serving.json          # both gates in one call
 
-Exit status 0 if every gated benchmark is within tolerance, 1 otherwise.
-Only the Python standard library is used.
+Exit status 0 if every requested gate passes, 1 otherwise. Only the Python
+standard library is used.
 """
 
 import argparse
 import statistics
 import sys
 
-from check_obs_overhead import CALIBRATION_PREFIXES, load_times
+from check_obs_overhead import CALIBRATION_PREFIXES, load_json, load_times
 
 GATED_PREFIX = "BM_SlotCycle"
+SERVING_SCHEMA = "mmw.serving_bench/1"
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--current", required=True, action="append",
-                        help="google-benchmark JSON from this build "
-                             "(repeatable; per-benchmark minimum is used)")
-    parser.add_argument("--baseline", action="append",
-                        help="baseline JSON (repeatable; default: "
-                             "bench_results/BENCH_micro_linalg.json)")
-    parser.add_argument("--tolerance", type=float, default=0.15,
-                        help="allowed fractional slowdown (default: %(default)s)")
-    parser.add_argument("--filter", default=GATED_PREFIX,
-                        help="benchmark-name prefix to gate (default: %(default)s)")
-    parser.add_argument("--no-calibrate", action="store_true",
-                        help="compare raw times (same-machine runs only)")
-    args = parser.parse_args()
-
+def check_slot_cycle(args):
     baseline_paths = args.baseline or ["bench_results/BENCH_micro_linalg.json"]
     baseline = load_times(baseline_paths)
     current = load_times(args.current)
@@ -63,7 +67,10 @@ def main():
                    if n.startswith(args.filter) and n in current)
     if not gated:
         print(f"error: no benchmarks matching '{args.filter}' present in both "
-              f"{baseline_paths} and {args.current}", file=sys.stderr)
+              f"{baseline_paths} and {args.current}\n"
+              f"  (baseline has {len(baseline)} benchmark(s), current has "
+              f"{len(current)}; was the right JSON passed, and does the "
+              f"--filter prefix match its benchmark names?)", file=sys.stderr)
         return 1
 
     scale = 1.0
@@ -100,6 +107,108 @@ def main():
     print(f"\nOK: all {len(gated)} gated benchmarks within "
           f"{args.tolerance:.0%} of baseline")
     return 0
+
+
+def load_serving(path):
+    doc = load_json(path, what="serving bench JSON")
+    if doc.get("schema") != SERVING_SCHEMA:
+        print(f"error: {path} has schema {doc.get('schema')!r}, expected "
+              f"{SERVING_SCHEMA!r}\n  (is this really a BENCH_serving.json "
+              f"written by ext_serving_throughput?)", file=sys.stderr)
+        sys.exit(1)
+    scales = {s["sessions"]: s for s in doc.get("scales", [])}
+    if not scales:
+        print(f"error: {path} contains no scales — the sweep produced no "
+              f"results", file=sys.stderr)
+        sys.exit(1)
+    return doc, scales
+
+
+def check_serving(args):
+    baseline_path = args.serving_baseline or "bench_results/BENCH_serving.json"
+    base_doc, base_scales = load_serving(baseline_path)
+    cur_doc, cur_scales = load_serving(args.serving_current)
+
+    common = sorted(set(base_scales) & set(cur_scales))
+    if not common:
+        print(f"error: no common session scales between {baseline_path} "
+              f"(has {sorted(base_scales)}) and {args.serving_current} "
+              f"(has {sorted(cur_scales)})", file=sys.stderr)
+        return 1
+
+    budget = cur_doc.get("session_byte_budget",
+                         base_doc.get("session_byte_budget", 0))
+    struct_bytes = cur_doc.get("session_struct_bytes", 0)
+    failed = []
+    if budget and struct_bytes > budget:
+        print(f"FAIL: sizeof(UserSession) = {struct_bytes} B exceeds the "
+              f"{budget} B per-session budget", file=sys.stderr)
+        failed.append("session_struct_bytes")
+
+    limit = 1.0 - args.serving_tolerance
+    print(f"{'sessions':>10} {'base users/s/core':>18} "
+          f"{'cur users/s/core':>18} {'B/sess base':>12} {'cur':>8}")
+    for sessions in common:
+        base, cur = base_scales[sessions], cur_scales[sessions]
+        tput_ok = cur["users_per_sec_per_core"] >= \
+            base["users_per_sec_per_core"] * limit
+        # bytes/session is a deterministic function of the slab math — any
+        # increase is a real footprint regression, so only float rounding
+        # slack is allowed.
+        mem_ok = cur["bytes_per_session"] <= base["bytes_per_session"] * 1.001
+        verdict = "ok" if (tput_ok and mem_ok) else "FAIL"
+        print(f"{sessions:>10} {base['users_per_sec_per_core']:>18.0f} "
+              f"{cur['users_per_sec_per_core']:>18.0f} "
+              f"{base['bytes_per_session']:>12.1f} "
+              f"{cur['bytes_per_session']:>8.1f}  {verdict}")
+        if not tput_ok:
+            failed.append(f"{sessions}:throughput")
+        if not mem_ok:
+            failed.append(f"{sessions}:bytes_per_session")
+
+    if failed:
+        print(f"\nFAIL: serving gate violations vs {baseline_path}: "
+              + ", ".join(str(f) for f in failed), file=sys.stderr)
+        return 1
+    print(f"\nOK: serving throughput within {args.serving_tolerance:.0%} and "
+          f"memory at-or-below baseline across {len(common)} scale(s)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", action="append",
+                        help="google-benchmark JSON from this build "
+                             "(repeatable; per-benchmark minimum is used)")
+    parser.add_argument("--baseline", action="append",
+                        help="baseline JSON (repeatable; default: "
+                             "bench_results/BENCH_micro_linalg.json)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional slowdown (default: %(default)s)")
+    parser.add_argument("--filter", default=GATED_PREFIX,
+                        help="benchmark-name prefix to gate (default: %(default)s)")
+    parser.add_argument("--no-calibrate", action="store_true",
+                        help="compare raw times (same-machine runs only)")
+    parser.add_argument("--serving-current",
+                        help="fresh BENCH_serving.json to gate against the "
+                             "committed serving baseline")
+    parser.add_argument("--serving-baseline",
+                        help="serving baseline JSON (default: "
+                             "bench_results/BENCH_serving.json)")
+    parser.add_argument("--serving-tolerance", type=float, default=0.5,
+                        help="allowed fractional users/sec/core shortfall "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    if not args.current and not args.serving_current:
+        parser.error("nothing to gate: pass --current and/or --serving-current")
+
+    status = 0
+    if args.current:
+        status |= check_slot_cycle(args)
+    if args.serving_current:
+        status |= check_serving(args)
+    return status
 
 
 if __name__ == "__main__":

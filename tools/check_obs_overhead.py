@@ -51,13 +51,31 @@ CALIBRATION_PREFIXES = (
 )
 
 
+def load_json(path, what="benchmark JSON"):
+    """Load a JSON document, exiting with a one-line diagnosis (not a
+    traceback) when the file is missing or malformed — the two ways a CI
+    misconfiguration usually presents."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        print(f"error: {what} not found: {path}\n"
+              f"  (did the bench step run, and is the path relative to the "
+              f"repo root?)", file=sys.stderr)
+        sys.exit(1)
+    except json.JSONDecodeError as e:
+        print(f"error: {what} is not valid JSON: {path} ({e})\n"
+              f"  (a truncated or interleaved bench run can corrupt the "
+              f"file; regenerate it)", file=sys.stderr)
+        sys.exit(1)
+
+
 def load_times(paths):
     """Return {benchmark name: min real_time in ns} over google-benchmark
     JSON files; repeated rows for one name keep the minimum."""
     times = {}
     for path in paths:
-        with open(path) as f:
-            doc = json.load(f)
+        doc = load_json(path)
         for b in doc.get("benchmarks", []):
             if b.get("run_type", "iteration") != "iteration":
                 continue  # skip aggregate rows (mean/median/stddev)
