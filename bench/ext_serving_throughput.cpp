@@ -27,7 +27,11 @@
 //
 // Knobs: --sessions N (single scale instead of the sweep), --epochs N,
 // --arrival-rate R (per site per epoch; overrides the 1% default),
-// --sojourn E, --threads N / MMW_THREADS, --obs on|off, --trace[=path].
+// --sojourn E, --threads N / MMW_THREADS, --obs on|off, --trace[=path],
+// --telemetry[=path] (per-epoch mmw.telemetry/1 NDJSON + watchdog with
+// health.json next to it; the default path is
+// bench_results/ext_serving_throughput_<sessions>_telemetry.ndjson, an
+// explicit =path applies verbatim when --sessions pins a single scale).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -59,6 +63,18 @@ std::uint64_t cli_u64(int argc, char** argv, const char* name,
   return v < 0.0 ? fallback : static_cast<std::uint64_t>(v);
 }
 
+/// Presence + value of a --name / --name=value flag: nullptr when absent,
+/// "" for the bare flag, the value otherwise.
+const char* cli_flag(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return "";
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=')
+      return argv[i] + len + 1;
+  }
+  return nullptr;
+}
+
 struct ScaleResult {
   index_t sessions = 0;
   serve::ServeResult result;
@@ -68,7 +84,6 @@ struct ScaleResult {
   std::uint64_t departures = 0;
   std::uint64_t outages = 0;
   real final_mean_loss_db = 0.0;
-  real final_p95_loss_db = 0.0;
 };
 
 }  // namespace
@@ -108,6 +123,7 @@ int main(int argc, char** argv) {
       cli_real(argc, argv, "--arrival-rate", -1.0);
   const double sojourn = cli_real(argc, argv, "--sojourn", 100.0);
   const std::uint64_t single = cli_u64(argc, argv, "--sessions", 0);
+  const char* telemetry = cli_flag(argc, argv, "--telemetry");
 
   std::vector<index_t> scales;
   if (single > 0)
@@ -160,6 +176,20 @@ int main(int argc, char** argv) {
     cfg.session_block = std::clamp<index_t>(
         static_cast<index_t>(per_site) + 1, 256, 4096);
 
+    if (telemetry != nullptr) {
+      // Per-scale NDJSON + health file; an explicit =path only applies
+      // verbatim when a single --sessions scale is pinned (the sweep would
+      // overwrite it otherwise).
+      std::string base =
+          (telemetry[0] != '\0' && scales.size() == 1)
+              ? std::string(telemetry)
+              : "bench_results/ext_serving_throughput_" +
+                    std::to_string(sessions) + "_telemetry.ndjson";
+      cfg.telemetry.ndjson_path = base;
+      cfg.telemetry.health_path = base + ".health.json";
+      cfg.telemetry.watchdog = true;
+    }
+
     serve::ServingEngine engine(cfg);
     const serve::ServeResult r = engine.run();
 
@@ -181,17 +211,15 @@ int main(int argc, char** argv) {
       row.departures += e.departures;
       row.outages += e.outages;
     }
-    if (!r.epochs.empty()) {
+    if (!r.epochs.empty())
       row.final_mean_loss_db = r.epochs.back().mean_loss_db;
-      row.final_p95_loss_db = r.epochs.back().p95_loss_db;
-    }
     rows.push_back(row);
 
     std::printf(
         "sessions=%zu: %.0f users/sec/core (%llu steps in %.3f s), "
         "peak_live=%llu, %.1f B/session (high water %.1f MB), "
         "arrivals=%llu departures=%llu outages=%llu, "
-        "final loss mean=%.2f dB p95<=%.2f dB\n",
+        "loss mean=%.2f dB p50=%.2f p99=%.2f p999=%.2f dB\n",
         static_cast<std::size_t>(sessions), row.users_per_sec_per_core,
         static_cast<unsigned long long>(r.sessions_stepped), r.step_seconds,
         static_cast<unsigned long long>(r.peak_live_sessions),
@@ -201,7 +229,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(row.departures),
         static_cast<unsigned long long>(row.outages),
         static_cast<double>(row.final_mean_loss_db),
-        static_cast<double>(row.final_p95_loss_db));
+        static_cast<double>(r.loss_p50_db), static_cast<double>(r.loss_p99_db),
+        static_cast<double>(r.loss_p999_db));
 
     bench::write_artifact("ext_serving_throughput_" +
                               std::to_string(sessions) + ".csv",
@@ -254,8 +283,24 @@ int main(int argc, char** argv) {
     w.number(row.outages);
     w.key("final_mean_loss_db");
     w.number(static_cast<double>(row.final_mean_loss_db));
-    w.key("final_p95_loss_db");
-    w.number(static_cast<double>(row.final_p95_loss_db));
+    // Run-level loss quantiles (every epoch's samples through one merged
+    // digest) — deterministic, so the regression gate can hold p99.
+    w.key("loss_p50_db");
+    w.number(static_cast<double>(row.result.loss_p50_db));
+    w.key("loss_p90_db");
+    w.number(static_cast<double>(row.result.loss_p90_db));
+    w.key("loss_p99_db");
+    w.number(static_cast<double>(row.result.loss_p99_db));
+    w.key("loss_p999_db");
+    w.number(static_cast<double>(row.result.loss_p999_db));
+    // Epoch wall-time quantiles (timing — machine-dependent, reported but
+    // never gated byte-wise).
+    w.key("epoch_seconds_p50");
+    w.number(row.result.epoch_seconds_p50);
+    w.key("epoch_seconds_p99");
+    w.number(row.result.epoch_seconds_p99);
+    w.key("telemetry_records");
+    w.number(row.result.telemetry_records);
     w.end_object();
   }
   w.end_array();

@@ -7,6 +7,7 @@
 #include "linalg/decompositions.h"
 #include "linalg/eig.h"
 #include "linalg/functions.h"
+#include "obs/obs.h"
 #include "randgen/rng.h"
 
 namespace {
@@ -329,4 +330,15 @@ BENCHMARK(BM_OuterTemporaryAdd)->Arg(16)->Arg(64)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so MMW_OBS / MMW_FLIGHT take effect: the
+// obs-overhead CI gate A/B-compares this binary with the flight recorder
+// armed (default) vs MMW_FLIGHT=off, so the env must be applied before any
+// TraceScope runs.
+int main(int argc, char** argv) {
+  mmw::obs::init_from_env(false);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

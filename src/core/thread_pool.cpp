@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "obs/clock.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -91,6 +92,7 @@ void ThreadPool::worker_loop(index_t ordinal) {
     } catch (...) {
       // submit() is fire-and-forget; parallel_for captures its own errors.
     }
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
     if (timed) PoolMetrics::get().busy_us.add(obs::now_us() - run_start);
   }
 }
@@ -119,7 +121,7 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
   const index_t tasks = std::min<index_t>(thread_count(), end - begin);
   sync->pending = tasks;
 
-  auto drain = [sync, end, &body] {
+  auto drain = [this, sync, end, &body] {
     // Claim indices until the range is exhausted or an error was recorded.
     for (;;) {
       const index_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
@@ -138,6 +140,7 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
         }
         sync->next.store(end, std::memory_order_relaxed);  // cancel the rest
       }
+      heartbeat_.fetch_add(1, std::memory_order_relaxed);
     }
     std::lock_guard lock(sync->m);
     if (--sync->pending == 0) sync->done.notify_all();
@@ -172,7 +175,7 @@ std::vector<IterationFailure> ThreadPool::parallel_for_quarantined(
   const index_t tasks = std::min<index_t>(thread_count(), end - begin);
   sync->pending = tasks;
 
-  auto drain = [sync, end, &body] {
+  auto drain = [this, sync, end, &body] {
     // Claim indices until the range is exhausted; failures never cancel.
     for (;;) {
       const index_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
@@ -186,6 +189,7 @@ std::vector<IterationFailure> ThreadPool::parallel_for_quarantined(
         std::lock_guard lock(sync->m);
         sync->failures.push_back({i, "unknown exception"});
       }
+      heartbeat_.fetch_add(1, std::memory_order_relaxed);
     }
     std::lock_guard lock(sync->m);
     if (--sync->pending == 0) sync->done.notify_all();
@@ -201,6 +205,13 @@ std::vector<IterationFailure> ThreadPool::parallel_for_quarantined(
             [](const IterationFailure& a, const IterationFailure& b) {
               return a.index < b.index;
             });
+  // A quarantined failure is exactly the anomaly the flight recorder
+  // exists for: snapshot the last K spans per thread while the evidence is
+  // fresh. Gated on obs::enabled() so bare runs (and fault-injection tests
+  // that expect silence) don't emit dump files; the recorder itself caps
+  // dumps per process either way.
+  if (!sync->failures.empty() && obs::enabled())
+    obs::FlightRecorder::global().dump("quarantined_iteration");
   return std::move(sync->failures);
 }
 

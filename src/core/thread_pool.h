@@ -11,8 +11,10 @@
 //    exactly what sim::run_search_effectiveness does).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -92,6 +94,15 @@ class ThreadPool {
       index_t begin, index_t end,
       const std::function<void(index_t)>& body);
 
+  /// Monotone progress counter: bumped once per completed parallel_for /
+  /// parallel_for_quarantined iteration and per drained submit() task.
+  /// The obs::Watchdog reads this (plus the engine's own counters) to tell
+  /// "slow epoch" from "wedged pool" — any forward motion anywhere in the
+  /// pool resets the stall clock. Safe to read from any thread.
+  std::uint64_t heartbeat() const {
+    return heartbeat_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// `ordinal` is the 1-based worker index, reported to obs as the thread
   /// ordinal so metric shards and trace buffers merge in a stable order
@@ -102,6 +113,7 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  std::atomic<std::uint64_t> heartbeat_{0};
   std::vector<std::jthread> workers_;
 };
 

@@ -22,8 +22,12 @@ inline std::uint64_t now_us() {
           .count());
 }
 
-/// Wall-clock stopwatch for run manifests: started at construction,
-/// `seconds()` reads the elapsed steady-clock time.
+/// Elapsed-time stopwatch for run manifests: started at construction,
+/// `seconds()` reads the elapsed steady-clock time. Despite the name it
+/// does NOT read the wall (system) clock — the monotonic source above is
+/// its contract, so measured durations are immune to NTP steps and
+/// timezone changes, at the cost of not being convertible to a calendar
+/// timestamp.
 class WallTimer {
  public:
   WallTimer() : start_us_(now_us()) {}

@@ -128,6 +128,23 @@ std::uint64_t peak_rss_bytes() {
   return 0;
 }
 
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+        std::fclose(f);
+        return static_cast<std::uint64_t>(kb) * 1024u;
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+  return 0;
+}
+
 bool write_text_file(const std::string& path, const std::string& content) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {

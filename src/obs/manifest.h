@@ -62,4 +62,9 @@ bool write_text_file(const std::string& path, const std::string& content);
 /// evidence-backed rather than asserted.
 std::uint64_t peak_rss_bytes();
 
+/// Current resident-set size in bytes (Linux: VmRSS from /proc/self/status;
+/// 0 elsewhere). Sampled per epoch by the telemetry sink and per poll by
+/// the watchdog — a live complement to the end-of-run peak above.
+std::uint64_t current_rss_bytes();
+
 }  // namespace mmw::obs

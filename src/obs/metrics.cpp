@@ -151,8 +151,6 @@ void Registry::record_add(index_t id, std::uint64_t delta) {
 }
 
 void Registry::record_gauge(index_t id, real value) {
-  const std::uint64_t seq =
-      gauge_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
   Shard& shard = local_shard();
   std::lock_guard lock(shard.mutex);
   Cell& cell = cell_for(shard, id);
@@ -166,7 +164,6 @@ void Registry::record_gauge(index_t id, real value) {
   ++cell.count;
   cell.sum += value;
   cell.last = value;
-  cell.last_seq = seq;
 }
 
 void Registry::record_histogram(index_t id, real value,
@@ -220,7 +217,6 @@ MetricsSnapshot Registry::snapshot() const {
     }
   }
 
-  std::vector<std::uint64_t> gauge_seq(defs.size(), 0);
   for (const auto& shard : shards) {
     std::lock_guard lock(shard->mutex);
     for (index_t id = 0; id < shard->cells.size() && id < defs.size(); ++id) {
@@ -242,10 +238,11 @@ MetricsSnapshot Registry::snapshot() const {
           }
           g.count += cell.count;
           g.sum += cell.sum;
-          if (cell.last_seq >= gauge_seq[id]) {
-            gauge_seq[id] = cell.last_seq;
-            g.last = cell.last;
-          }
+          // Last-write-wins over the DETERMINISTIC (ordinal, sequence)
+          // shard order, not wall-clock update order: the highest-ordered
+          // shard that ever set the gauge owns `last`. A pure function of
+          // which threads recorded what — stable across re-runs.
+          g.last = cell.last;
           break;
         }
         case Kind::kHistogram: {
@@ -272,7 +269,6 @@ void Registry::reset() {
     std::lock_guard lock(shard->mutex);
     for (Cell& cell : shard->cells) cell = Cell{};
   }
-  gauge_sequence_.store(0, std::memory_order_relaxed);
 }
 
 std::string MetricsSnapshot::to_json() const {

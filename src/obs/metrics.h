@@ -12,9 +12,13 @@
 //    registration-sequence) order; core::ThreadPool labels its workers
 //    1..n via obs::set_thread_ordinal so the merge order is stable.
 //    Counter and histogram merges are integer sums (order-independent);
-//    gauge `last` resolves by a global update sequence. The PR-2
-//    determinism contract is untouched either way: no metric value ever
-//    feeds back into the simulation.
+//    gauge `last` is last-write-wins over that SAME shard order — the
+//    highest (ordinal, sequence) shard that ever set the gauge owns the
+//    merged `last`, making the snapshot a pure function of what each
+//    thread recorded rather than of scheduling. (Within one shard, `last`
+//    is the thread's program-order latest set(), which is already
+//    deterministic.) The PR-2 determinism contract is untouched either
+//    way: no metric value ever feeds back into the simulation.
 //  - The disabled path of every record call is one relaxed atomic load
 //    (obs::enabled()) and an immediate return.
 //
@@ -174,7 +178,6 @@ class Registry {
     real minimum = 0.0;
     real maximum = 0.0;
     real last = 0.0;
-    std::uint64_t last_seq = 0;  ///< global order of the latest set()
     std::vector<std::uint64_t> bucket_counts;
   };
 
@@ -202,7 +205,6 @@ class Registry {
   std::map<std::string, index_t, std::less<>> ids_;
   std::vector<std::shared_ptr<Shard>> shards_;
   std::uint64_t next_shard_sequence_ = 0;
-  std::atomic<std::uint64_t> gauge_sequence_{0};
 };
 
 }  // namespace mmw::obs

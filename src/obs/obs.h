@@ -46,9 +46,11 @@ inline void set_enabled(bool on) {
 
 /// Applies the MMW_OBS environment variable on top of `default_on`:
 /// "off"/"0"/"false" force-disables, "on"/"1"/"true" force-enables, unset
-/// or anything else keeps the default. Returns the resulting state.
-/// Binaries (benches, CLI) call this once at startup; the library itself
-/// never reads the environment.
+/// or anything else keeps the default. Also applies MMW_FLIGHT with the
+/// same vocabulary to the flight recorder's armed flag (default: armed —
+/// the recorder is always on unless explicitly disarmed; see flight.h).
+/// Returns the resulting obs state. Binaries (benches, CLI) call this once
+/// at startup; the library itself never reads the environment.
 bool init_from_env(bool default_on);
 
 /// Deterministic merge key for the calling thread's metric shards and trace

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "obs/clock.h"
+#include "obs/flight.h"
 #include "obs/obs.h"
 
 namespace mmw::obs {
@@ -100,24 +101,31 @@ class TraceCollector {
 };
 
 /// RAII span: captures the start time at construction, records a complete
-/// event at destruction. Inactive (no clock read, no recording) when
-/// capture is off at construction. Up to kMaxArgs numeric args may be
-/// attached; keys must be string literals.
+/// event at destruction. Every span feeds two sinks: the opt-in
+/// TraceCollector (full traces, when capturing) and the always-armed
+/// FlightRecorder ring (last-K spans, see flight.h). Inert — no clock
+/// read, no recording — only when BOTH are off at construction. Up to
+/// kMaxArgs numeric args may be attached (full traces only); keys must be
+/// string literals.
 class TraceScope {
  public:
   explicit TraceScope(const char* name, const char* category = "mmw")
-      : active_(TraceCollector::global().capturing()) {
-    if (active_) {
+      : active_(TraceCollector::global().capturing()),
+        flight_(FlightRecorder::global().armed()) {
+    if (active_ || flight_) {
       name_ = name;
       category_ = category;
       start_us_ = now_us();
     }
   }
   ~TraceScope() {
+    if (!active_ && !flight_) return;
+    const std::uint64_t dur_us = now_us() - start_us_;
     if (active_)
-      TraceCollector::global().complete(name_, category_, start_us_,
-                                        now_us() - start_us_, args_,
-                                        num_args_);
+      TraceCollector::global().complete(name_, category_, start_us_, dur_us,
+                                        args_, num_args_);
+    if (flight_)
+      FlightRecorder::global().record(name_, category_, start_us_, dur_us);
   }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
@@ -132,6 +140,7 @@ class TraceScope {
 
  private:
   bool active_;
+  bool flight_;
   const char* name_ = nullptr;
   const char* category_ = nullptr;
   std::uint64_t start_us_ = 0;

@@ -1,13 +1,18 @@
 #include "serve/serve.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "estimation/beamspace.h"
 #include "estimation/covariance_ml.h"
+#include "linalg/kernels.h"
 #include "mac/probe.h"
 #include "obs/clock.h"
+#include "obs/flight.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -72,62 +77,39 @@ struct ServeMetrics {
 
 }  // namespace
 
-/// Mergeable per-shard accumulator: fixed-size counters + a fixed-bucket
-/// loss histogram, so epoch metrics cost O(shards), never O(sessions).
+/// Mergeable per-shard accumulator: fixed-size counters + an O(1)-memory
+/// loss QuantileDigest, so epoch metrics cost O(shards), never O(sessions).
 /// Merged in flat shard order; within a shard samples accumulate in
-/// ascending slot order — both orders are thread-count independent.
+/// ascending slot order — both orders are thread-count independent, which
+/// makes the merged digest (and its quantiles) byte-identical at any
+/// thread count (obs/digest.h determinism contract).
 struct ServingEngine::MetricFrame {
-  static constexpr index_t kLossBuckets = 12;
-  /// "le" upper bounds (dB); one implicit overflow bucket follows.
-  static constexpr real kLossBounds[kLossBuckets] = {
-      0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0};
-
   std::uint64_t stepped = 0;
   std::uint64_t aligning = 0;
   std::uint64_t tracking = 0;
   std::uint64_t outages = 0;
+  std::uint64_t realignments = 0;  ///< claims by previously-outaged sessions
+  std::uint64_t claims = 0;
   std::uint64_t arrivals = 0;
   std::uint64_t departures = 0;
   std::uint64_t measurement_slots = 0;
-  std::uint64_t loss_count = 0;
-  real loss_sum = 0.0;
-  std::uint64_t loss_hist[kLossBuckets + 1] = {};
+  std::uint64_t nonconverged = 0;  ///< kWarmMl solves past max_iterations
+  obs::QuantileDigest loss;        ///< claimed-vs-optimal SNR loss, dB
 
-  void record_loss(real db) {
-    ++loss_count;
-    loss_sum += db;
-    index_t b = 0;
-    while (b < kLossBuckets && db > kLossBounds[b]) ++b;
-    ++loss_hist[b];
-  }
+  void record_loss(real db) { loss.add(db); }
 
   void merge(const MetricFrame& o) {
     stepped += o.stepped;
     aligning += o.aligning;
     tracking += o.tracking;
     outages += o.outages;
+    realignments += o.realignments;
+    claims += o.claims;
     arrivals += o.arrivals;
     departures += o.departures;
     measurement_slots += o.measurement_slots;
-    loss_count += o.loss_count;
-    loss_sum += o.loss_sum;
-    for (index_t b = 0; b <= kLossBuckets; ++b)
-      loss_hist[b] += o.loss_hist[b];
-  }
-
-  /// Bucketized p95: the upper bound of the first bucket whose cumulative
-  /// count reaches 95% (overflow reports the last bound — the histogram
-  /// cannot resolve further).
-  real p95_db() const {
-    if (loss_count == 0) return 0.0;
-    const std::uint64_t target =
-        loss_count - loss_count / 20;  // ceil-ish 95% in integers
-    std::uint64_t cum = 0;
-    for (index_t b = 0; b < kLossBuckets; ++b) {
-      cum += loss_hist[b];
-      if (cum >= target) return kLossBounds[b];
-    }
-    return kLossBounds[kLossBuckets - 1];
+    nonconverged += o.nonconverged;
+    loss.merge(o.loss);
   }
 };
 
@@ -182,6 +164,36 @@ ServingEngine::ServingEngine(ServeConfig config)
   threads_ = core::resolve_thread_count(config_.scenario.threads);
   if (threads_ > 1)
     thread_pool_ = std::make_unique<core::ThreadPool>(threads_);
+
+  if (!config_.telemetry.ndjson_path.empty())
+    sink_.open(config_.telemetry.ndjson_path);
+  if (config_.telemetry.watchdog) {
+    obs::WatchdogConfig wc;
+    wc.health_path = config_.telemetry.health_path;
+    wc.poll_seconds = config_.telemetry.watchdog_poll_seconds;
+    wc.stall_multiplier = config_.telemetry.watchdog_stall_multiplier;
+    wc.min_stall_seconds = config_.telemetry.watchdog_min_stall_seconds;
+    // Progress = engine ticks (shards + epochs) plus the pool heartbeat, so
+    // forward motion anywhere — even mid-shard task churn — resets the
+    // stall clock. Reads only atomics; safe from the monitor thread.
+    watchdog_ = std::make_unique<obs::Watchdog>(
+        wc,
+        [this] {
+          std::uint64_t p = progress_.load(std::memory_order_relaxed);
+          if (thread_pool_) p += thread_pool_->heartbeat();
+          return p;
+        },
+        [this] {
+          return std::vector<std::pair<std::string, double>>{
+              {"epoch",
+               static_cast<double>(
+                   health_epoch_.load(std::memory_order_relaxed))},
+              {"live_sessions",
+               static_cast<double>(
+                   health_live_.load(std::memory_order_relaxed))},
+          };
+        });
+  }
 }
 
 index_t ServingEngine::live_sessions() const {
@@ -416,6 +428,7 @@ void ServingEngine::step_align(index_t site, UserSession& s,
     const estimation::CovarianceMlResult res =
         estimation::estimate_covariance_ml_warm(n_rx, ws.measurements, opts,
                                                 prior);
+    if (!res.converged) ++frame.nonconverged;  // ladder rung (observe only)
     if (ws.scores.size() != n_rx) ws.scores.assign(n_rx, 0.0);
     merged = estimation::compress_to_beam_space(res.q, codebooks_.rx,
                                                 kMaxComponents, ws.scores);
@@ -448,6 +461,8 @@ void ServingEngine::step_align(index_t site, UserSession& s,
     s.aligning = 0;
     s.claimed_gain = static_cast<float>(link.mean_pair_gain(
         codebooks_.tx.codeword(s.tx_beam), codebooks_.rx.codeword(s.rx_beam)));
+    ++frame.claims;
+    if (s.realigns > 0) ++frame.realignments;
   }
 }
 
@@ -473,9 +488,9 @@ void ServingEngine::publish_obs(const MetricFrame& total) const {
   m.slots.add(total.measurement_slots);
   m.outages.add(total.outages);
   m.live.set(static_cast<real>(live_sessions()));
-  if (total.loss_count > 0)
-    m.mean_loss_db.set(total.loss_sum /
-                       static_cast<real>(total.loss_count));
+  if (total.loss.count() > 0)
+    m.mean_loss_db.set(total.loss.sum() /
+                       static_cast<real>(total.loss.count()));
   m.resident_bytes.set(static_cast<real>(resident_bytes()));
   m.high_water_bytes.set(static_cast<real>(high_water_bytes()));
 }
@@ -483,17 +498,21 @@ void ServingEngine::publish_obs(const MetricFrame& total) const {
 EpochReport ServingEngine::step_epoch() {
   obs::TraceScope span("serve.epoch", "serve");
   span.arg("epoch", static_cast<double>(epoch_));
+  const obs::WallTimer epoch_timer;
   const index_t sites = pools_.size();
+  const TelemetryConfig& tc = config_.telemetry;
 
   // Phase 1 — churn, sharded by site (each site's pool and key counter are
   // touched by exactly one iteration).
   std::vector<MetricFrame> churn_frames(sites);
+  auto churn_one = [&](index_t site) {
+    churn_site(site, churn_frames[site]);
+    progress_.fetch_add(1, std::memory_order_relaxed);
+  };
   if (thread_pool_ && sites > 1) {
-    thread_pool_->parallel_for(
-        0, sites, [&](index_t site) { churn_site(site, churn_frames[site]); });
+    thread_pool_->parallel_for(0, sites, churn_one);
   } else {
-    for (index_t site = 0; site < sites; ++site)
-      churn_site(site, churn_frames[site]);
+    for (index_t site = 0; site < sites; ++site) churn_one(site);
   }
 
   // Phase 2 — step every live session, sharded (site × slab).
@@ -503,13 +522,20 @@ EpochReport ServingEngine::step_epoch() {
       if (pools_[site].live_in_slab(slab) > 0) shards_.emplace_back(site, slab);
   std::vector<MetricFrame> step_frames(shards_.size());
   const obs::WallTimer step_timer;
+  auto step_one = [&](index_t i) {
+    // Watchdog test hook: a wall-clock sleep in the first shard of the
+    // chosen epoch. No Rng, no session state — results are untouched.
+    if (tc.stall_test_seconds > 0.0 && epoch_ == tc.stall_test_epoch &&
+        i == 0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(tc.stall_test_seconds));
+    step_shard(shards_[i].first, shards_[i].second, step_frames[i]);
+    progress_.fetch_add(1, std::memory_order_relaxed);
+  };
   if (thread_pool_ && shards_.size() > 1) {
-    thread_pool_->parallel_for(0, shards_.size(), [&](index_t i) {
-      step_shard(shards_[i].first, shards_[i].second, step_frames[i]);
-    });
+    thread_pool_->parallel_for(0, shards_.size(), step_one);
   } else {
-    for (index_t i = 0; i < shards_.size(); ++i)
-      step_shard(shards_[i].first, shards_[i].second, step_frames[i]);
+    for (index_t i = 0; i < shards_.size(); ++i) step_one(i);
   }
   step_seconds_ += step_timer.seconds();
 
@@ -526,18 +552,93 @@ EpochReport ServingEngine::step_epoch() {
   r.aligning_steps = total.aligning;
   r.tracking_steps = total.tracking;
   r.outages = total.outages;
+  r.realignments = total.realignments;
+  r.claims = total.claims;
   r.measurement_slots = total.measurement_slots;
-  r.loss_samples = total.loss_count;
-  r.mean_loss_db = total.loss_count > 0
-                       ? total.loss_sum / static_cast<real>(total.loss_count)
-                       : 0.0;
-  r.p95_loss_db = total.p95_db();
+  r.estimator_nonconverged = total.nonconverged;
+  r.loss_samples = total.loss.count();
+  r.mean_loss_db =
+      r.loss_samples > 0
+          ? total.loss.sum() / static_cast<real>(r.loss_samples)
+          : 0.0;
+  r.p50_loss_db = total.loss.quantile(0.50);
+  r.p90_loss_db = total.loss.quantile(0.90);
+  r.p99_loss_db = total.loss.quantile(0.99);
+  r.p999_loss_db = total.loss.quantile(0.999);
+  r.max_loss_db = total.loss.max_value();
 
   sessions_stepped_ += total.stepped;
   peak_live_ = std::max<std::uint64_t>(peak_live_, live_sessions());
   publish_obs(total);
+
+  // Telemetry plane: run-level digests, watchdog feed, outage-burst dump,
+  // NDJSON record. All observe-only.
+  run_loss_digest_.merge(total.loss);
+  const double epoch_seconds = epoch_timer.seconds();
+  epoch_seconds_digest_.add(epoch_seconds);
+  health_live_.store(live_sessions(), std::memory_order_relaxed);
+  health_epoch_.store(epoch_, std::memory_order_relaxed);
+  if (watchdog_) watchdog_->note_epoch_seconds(epoch_seconds);
+  if (tc.outage_burst_dump_threshold > 0 && !outage_burst_dumped_ &&
+      total.outages >= tc.outage_burst_dump_threshold) {
+    outage_burst_dumped_ = true;
+    obs::FlightRecorder::global().dump("outage_burst");
+  }
+  emit_telemetry(r, epoch_seconds);
+
+  progress_.fetch_add(1, std::memory_order_relaxed);
   ++epoch_;
   return r;
+}
+
+void ServingEngine::emit_telemetry(const EpochReport& report,
+                                   double epoch_seconds) {
+  if (!sink_.is_open()) return;
+
+  obs::TelemetryRecord rec;
+  rec.epoch = report.epoch;
+  rec.live_sessions = report.live_sessions;
+  rec.arrivals = report.arrivals;
+  rec.departures = report.departures;
+  rec.aligning_steps = report.aligning_steps;
+  rec.tracking_steps = report.tracking_steps;
+  rec.outages = report.outages;
+  rec.realignments = report.realignments;
+  rec.claims = report.claims;
+  rec.measurement_slots = report.measurement_slots;
+  rec.estimator_nonconverged = report.estimator_nonconverged;
+  rec.pool_resident_bytes = resident_bytes();
+  rec.pool_high_water_bytes = high_water_bytes();
+  rec.loss_count = report.loss_samples;
+  rec.loss_mean_db = report.mean_loss_db;
+  rec.loss_p50_db = report.p50_loss_db;
+  rec.loss_p90_db = report.p90_loss_db;
+  rec.loss_p99_db = report.p99_loss_db;
+  rec.loss_p999_db = report.p999_loss_db;
+  rec.loss_max_db = report.max_loss_db;
+
+  rec.epoch_seconds = epoch_seconds;
+  rec.epoch_seconds_p50 = epoch_seconds_digest_.quantile(0.50);
+  rec.epoch_seconds_p99 = epoch_seconds_digest_.quantile(0.99);
+  // Pool utilization as per-epoch deltas of the core.pool.* counters (zero
+  // while obs is disabled — the counters don't advance).
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  const auto counter_value = [&](const char* name) -> std::uint64_t {
+    const auto it = snap.counters.find(name);
+    return it != snap.counters.end() ? it->second.value : 0;
+  };
+  const std::uint64_t busy = counter_value("core.pool.busy_us");
+  const std::uint64_t idle = counter_value("core.pool.idle_us");
+  rec.pool_busy_us = busy - std::min(busy, prev_pool_busy_us_);
+  rec.pool_idle_us = idle - std::min(idle, prev_pool_idle_us_);
+  prev_pool_busy_us_ = busy;
+  prev_pool_idle_us_ = idle;
+  rec.rss_bytes = obs::current_rss_bytes();
+  rec.arena_high_water_bytes =
+      static_cast<std::uint64_t>(linalg::kernels::arena_high_water_bytes());
+  rec.flight_events = obs::FlightRecorder::global().event_count();
+
+  sink_.write(rec);
 }
 
 ServeResult ServingEngine::run() {
@@ -550,6 +651,15 @@ ServeResult ServingEngine::run() {
   result.step_seconds = step_seconds_;
   result.resident_bytes = resident_bytes();
   result.high_water_bytes = high_water_bytes();
+  result.loss_samples = run_loss_digest_.count();
+  result.loss_p50_db = run_loss_digest_.quantile(0.50);
+  result.loss_p90_db = run_loss_digest_.quantile(0.90);
+  result.loss_p99_db = run_loss_digest_.quantile(0.99);
+  result.loss_p999_db = run_loss_digest_.quantile(0.999);
+  result.epoch_seconds_p50 = epoch_seconds_digest_.quantile(0.50);
+  result.epoch_seconds_p99 = epoch_seconds_digest_.quantile(0.99);
+  result.watchdog_tripped = watchdog_ && watchdog_->tripped();
+  result.telemetry_records = sink_.records_written();
   return result;
 }
 
@@ -558,14 +668,16 @@ std::string render_serving_csv(const std::vector<EpochReport>& epochs) {
   os.setf(std::ios::fixed);
   os.precision(6);
   os << "epoch,live_sessions,arrivals,departures,aligning_steps,"
-        "tracking_steps,outages,measurement_slots,loss_samples,"
-        "mean_loss_db,p95_loss_db\n";
+        "tracking_steps,outages,realignments,claims,measurement_slots,"
+        "loss_samples,mean_loss_db,p50_loss_db,p90_loss_db,p99_loss_db,"
+        "p999_loss_db\n";
   for (const EpochReport& r : epochs) {
     os << r.epoch << ',' << r.live_sessions << ',' << r.arrivals << ','
        << r.departures << ',' << r.aligning_steps << ',' << r.tracking_steps
-       << ',' << r.outages << ',' << r.measurement_slots << ','
-       << r.loss_samples << ',' << r.mean_loss_db << ',' << r.p95_loss_db
-       << '\n';
+       << ',' << r.outages << ',' << r.realignments << ',' << r.claims << ','
+       << r.measurement_slots << ',' << r.loss_samples << ','
+       << r.mean_loss_db << ',' << r.p50_loss_db << ',' << r.p90_loss_db
+       << ',' << r.p99_loss_db << ',' << r.p999_loss_db << '\n';
   }
   return os.str();
 }

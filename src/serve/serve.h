@@ -40,11 +40,15 @@
 // accounting, recorded in every E9 manifest next to peak RSS.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/thread_pool.h"
+#include "obs/digest.h"
+#include "obs/telemetry.h"
+#include "obs/watchdog.h"
 #include "serve/slab.h"
 #include "sim/scenario.h"
 #include "sim/topology.h"
@@ -61,6 +65,30 @@ enum class EstimatorKind {
   /// (estimation::estimate_covariance_ml_warm), compressed back to beam
   /// space. The paper-faithful estimator; ~10× the alignment-slot cost.
   kWarmMl,
+};
+
+/// Live-telemetry knobs (DESIGN.md §14). All of it only OBSERVES: enabling
+/// any field cannot change engine results (the CSV-equality contract).
+struct TelemetryConfig {
+  /// Per-epoch NDJSON export path (schema mmw.telemetry/1); "" disables.
+  std::string ndjson_path;
+  /// health.json path for the watchdog; "" disables the file.
+  std::string health_path;
+  /// Run the stall-detection monitor thread.
+  bool watchdog = false;
+  double watchdog_poll_seconds = 0.25;
+  double watchdog_stall_multiplier = 8.0;
+  double watchdog_min_stall_seconds = 2.0;
+  /// Dump a flight-recorder snapshot when one epoch's outage count reaches
+  /// this threshold (first burst only; 0 disables).
+  std::uint64_t outage_burst_dump_threshold = 0;
+
+  /// Test hook: sleep this long inside the FIRST step shard of epoch
+  /// `stall_test_epoch` (0 disables). Wall-clock only — it never touches
+  /// an Rng or session state, so results stay byte-identical; exists so
+  /// watchdog trips are testable without a real deadlock.
+  double stall_test_seconds = 0.0;
+  index_t stall_test_epoch = 0;
 };
 
 struct ServeConfig {
@@ -100,9 +128,14 @@ struct ServeConfig {
 
   /// Sessions per slab — the allocator grain AND the step-shard grain.
   index_t session_block = 4096;
+
+  TelemetryConfig telemetry;
 };
 
 /// Streaming per-epoch aggregate (merged MetricFrames; O(1) memory).
+/// Loss quantiles come from the shard-merged QuantileDigest, so the tail
+/// (p99/p999) is resolved to ~1/(2·256) rank error rather than histogram
+/// bucket bounds; all fields are deterministic across thread counts.
 struct EpochReport {
   index_t epoch = 0;
   std::uint64_t live_sessions = 0;  ///< after churn, i.e. sessions stepped
@@ -111,10 +144,17 @@ struct EpochReport {
   std::uint64_t aligning_steps = 0;
   std::uint64_t tracking_steps = 0;
   std::uint64_t outages = 0;        ///< collapse-test failures this epoch
+  std::uint64_t realignments = 0;   ///< claims by previously-outaged sessions
+  std::uint64_t claims = 0;         ///< beam pairs claimed this epoch
   std::uint64_t measurement_slots = 0;  ///< training slots spent this epoch
+  std::uint64_t estimator_nonconverged = 0;  ///< kWarmMl ladder rung
   std::uint64_t loss_samples = 0;   ///< tracking sessions contributing loss
   real mean_loss_db = 0.0;          ///< mean claimed-vs-optimal SNR loss
-  real p95_loss_db = 0.0;           ///< bucketized (histogram upper bound)
+  real p50_loss_db = 0.0;
+  real p90_loss_db = 0.0;
+  real p99_loss_db = 0.0;
+  real p999_loss_db = 0.0;
+  real max_loss_db = 0.0;
 };
 
 struct ServeResult {
@@ -124,6 +164,17 @@ struct ServeResult {
   double step_seconds = 0.0;  ///< wall time of the step phases only
   std::size_t resident_bytes = 0;      ///< Σ pool resident_bytes at end
   std::size_t high_water_bytes = 0;    ///< Σ pool high-water bytes
+  /// Run-level loss quantiles (every epoch's samples, one digest).
+  std::uint64_t loss_samples = 0;
+  real loss_p50_db = 0.0;
+  real loss_p90_db = 0.0;
+  real loss_p99_db = 0.0;
+  real loss_p999_db = 0.0;
+  /// Epoch wall-time quantiles over the run (timing — not deterministic).
+  double epoch_seconds_p50 = 0.0;
+  double epoch_seconds_p99 = 0.0;
+  bool watchdog_tripped = false;
+  std::uint64_t telemetry_records = 0;  ///< NDJSON lines written
 };
 
 class ServingEngine {
@@ -139,6 +190,13 @@ class ServingEngine {
 
   /// Runs config.epochs ticks and returns the streamed reports + totals.
   ServeResult run();
+
+  /// The watchdog, when config.telemetry.watchdog is set (else nullptr).
+  /// Started in the constructor, stopped at destruction.
+  const obs::Watchdog* watchdog() const { return watchdog_.get(); }
+
+  /// NDJSON records written so far (0 when telemetry.ndjson_path is "").
+  std::uint64_t telemetry_records() const { return sink_.records_written(); }
 
   const ServeConfig& config() const { return config_; }
   index_t current_epoch() const { return epoch_; }
@@ -175,6 +233,7 @@ class ServingEngine {
                   Workspace& ws);
   void step_track(index_t site, UserSession& s, MetricFrame& frame);
   void publish_obs(const MetricFrame& total) const;
+  void emit_telemetry(const EpochReport& report, double epoch_seconds);
 
   ServeConfig config_;
   sim::Topology topology_;
@@ -193,6 +252,26 @@ class ServingEngine {
   /// Per-epoch scratch, reused across ticks (no per-epoch heap growth
   /// once the shard count stabilizes).
   std::vector<std::pair<index_t, index_t>> shards_;  ///< (site, slab)
+
+  // -- telemetry plane (observe-only; DESIGN.md §14) ----------------------
+  obs::TelemetrySink sink_;
+  obs::QuantileDigest run_loss_digest_;      ///< deterministic, all epochs
+  obs::QuantileDigest epoch_seconds_digest_; ///< timing only
+  /// Watchdog progress heartbeat: one tick per completed shard + epoch.
+  std::atomic<std::uint64_t> progress_{0};
+  /// Epoch-boundary copies the watchdog's StatusFn may read (live_sessions()
+  /// walks the pools and is not safe concurrently with churn, and epoch_
+  /// itself is written by the stepping thread).
+  std::atomic<std::uint64_t> health_live_{0};
+  std::atomic<std::uint64_t> health_epoch_{0};
+  /// Pool busy/idle counter values at the previous epoch boundary, for the
+  /// per-epoch deltas in the timing sub-object.
+  std::uint64_t prev_pool_busy_us_ = 0;
+  std::uint64_t prev_pool_idle_us_ = 0;
+  bool outage_burst_dumped_ = false;  ///< first-burst latch
+  /// Last member: its monitor thread reads the atomics above (and the
+  /// pool's heartbeat), so it must stop before anything else destructs.
+  std::unique_ptr<obs::Watchdog> watchdog_;
 };
 
 /// Renders epoch reports as the E9 CSV (fixed 6-digit reals — the byte

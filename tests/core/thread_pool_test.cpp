@@ -3,9 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <filesystem>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "obs/flight.h"
+#include "obs/obs.h"
 
 namespace mmw::core {
 namespace {
@@ -127,6 +133,67 @@ TEST(ThreadPoolTest, SubmitRunsTask) {
     // Destructor drains the queue before joining.
   }
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, HeartbeatAdvancesWithWork) {
+  ThreadPool pool(3);
+  const std::uint64_t before = pool.heartbeat();
+  pool.parallel_for(0, 100, [](index_t) {});
+  const std::uint64_t after_for = pool.heartbeat();
+  // One beat per completed iteration — the watchdog's liveness signal.
+  EXPECT_GE(after_for, before + 100);
+
+  pool.parallel_for_quarantined(0, 50, [](index_t i) {
+    if (i % 2 == 0) throw std::runtime_error("boom");
+  });
+  // Failing iterations still beat: a shard that throws is not a stall.
+  EXPECT_GE(pool.heartbeat(), after_for + 50);
+}
+
+TEST(ThreadPoolTest, HeartbeatIsMonotone) {
+  ThreadPool pool(2);
+  std::uint64_t last = pool.heartbeat();
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(0, 20, [](index_t) {});
+    const std::uint64_t now = pool.heartbeat();
+    EXPECT_GE(now, last + 20);
+    last = now;
+  }
+}
+
+TEST(ThreadPoolTest, QuarantinedFailureDumpsFlightRecorder) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "mmw_pool_flight_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::FlightRecorder::global().set_dump_directory(dir.string());
+  const std::uint64_t dumps_before =
+      obs::FlightRecorder::global().dump_count();
+
+  ThreadPool pool(2);
+  pool.parallel_for_quarantined(0, 8, [](index_t i) {
+    if (i == 3) throw std::runtime_error("quarantine me");
+  });
+  // One dump per quarantined parallel_for with failures, not per failure.
+  EXPECT_EQ(obs::FlightRecorder::global().dump_count(), dumps_before + 1);
+
+  bool found = false;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.path().filename().string().find("quarantined_iteration") !=
+        std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+
+  // A clean quarantined run must NOT dump.
+  pool.parallel_for_quarantined(0, 8, [](index_t) {});
+  EXPECT_EQ(obs::FlightRecorder::global().dump_count(), dumps_before + 1);
+
+  obs::FlightRecorder::global().set_dump_directory("bench_results");
+  obs::set_enabled(was_enabled);
+  fs::remove_all(dir);
 }
 
 }  // namespace

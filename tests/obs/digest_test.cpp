@@ -1,0 +1,258 @@
+// QuantileDigest accuracy, determinism, and memory-bound tests.
+//
+// The acceptance bar (ISSUE, DESIGN.md §14): max RANK error ≤ 1% against
+// exact quantiles across distributions — including adversarially sorted
+// input and shard-merged digests — with O(compression) memory and
+// bit-identical results for identical operation sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "obs/digest.h"
+
+namespace mmw::obs {
+namespace {
+
+/// Exact empirical quantile by the same midpoint-rank convention the digest
+/// targets; for rank-error measurement we instead invert: find the rank of
+/// the digest's estimate within the sorted sample.
+real rank_of(const std::vector<real>& sorted, real value) {
+  // Fraction of samples strictly below `value`, plus half the ties —
+  // the continuous-rank convention under which midpoint interpolation
+  // is unbiased.
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), value);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), value);
+  const real below = static_cast<real>(lo - sorted.begin());
+  const real ties = static_cast<real>(hi - lo);
+  return (below + 0.5 * ties) / static_cast<real>(sorted.size());
+}
+
+/// Max |rank(estimate) - q| over a quantile sweep including the deep tails.
+real max_rank_error(QuantileDigest& d, std::vector<real> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::vector<real> qs = {0.01, 0.05, 0.10, 0.25, 0.50, 0.75,
+                                0.90, 0.95, 0.99, 0.995, 0.999};
+  real worst = 0.0;
+  for (const real q : qs) {
+    const real est = d.quantile(q);
+    worst = std::max(worst, std::abs(rank_of(samples, est) - q));
+  }
+  return worst;
+}
+
+std::vector<real> uniform_samples(std::uint64_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<real> u(-40.0, 10.0);
+  std::vector<real> out(n);
+  for (auto& x : out) x = u(rng);
+  return out;
+}
+
+std::vector<real> normal_samples(std::uint64_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<real> g(-3.0, 4.0);
+  std::vector<real> out(n);
+  for (auto& x : out) x = g(rng);
+  return out;
+}
+
+std::vector<real> lognormal_samples(std::uint64_t n, unsigned seed) {
+  // Heavy right tail — the shape of loss-dB outliers; stresses the p999 end.
+  std::mt19937_64 rng(seed);
+  std::lognormal_distribution<real> ln(0.0, 1.5);
+  std::vector<real> out(n);
+  for (auto& x : out) x = ln(rng);
+  return out;
+}
+
+TEST(QuantileDigestTest, EmptyDigestIsZeroEverywhere) {
+  QuantileDigest d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.quantile(0.5), 0.0);
+  EXPECT_EQ(d.min_value(), 0.0);
+  EXPECT_EQ(d.max_value(), 0.0);
+  EXPECT_EQ(d.sum(), 0.0);
+}
+
+TEST(QuantileDigestTest, SingleAndFewSamplesAreExact) {
+  QuantileDigest d;
+  d.add(7.0);
+  EXPECT_EQ(d.quantile(0.0), 7.0);
+  EXPECT_EQ(d.quantile(0.5), 7.0);
+  EXPECT_EQ(d.quantile(1.0), 7.0);
+
+  QuantileDigest d3;
+  d3.add(1.0);
+  d3.add(2.0);
+  d3.add(3.0);
+  EXPECT_EQ(d3.quantile(0.0), 1.0);
+  EXPECT_EQ(d3.quantile(1.0), 3.0);
+  EXPECT_NEAR(d3.quantile(0.5), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d3.sum(), 6.0);
+}
+
+TEST(QuantileDigestTest, MinMaxAreExactUnderCompression) {
+  QuantileDigest d(64);
+  const auto samples = normal_samples(50'000, 11);
+  real lo = std::numeric_limits<real>::infinity(), hi = -lo;
+  for (const real x : samples) {
+    d.add(x);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_EQ(d.quantile(0.0), lo);
+  EXPECT_EQ(d.quantile(1.0), hi);
+  EXPECT_EQ(d.min_value(), lo);
+  EXPECT_EQ(d.max_value(), hi);
+  EXPECT_EQ(d.count(), 50'000u);
+}
+
+TEST(QuantileDigestTest, NonFiniteSamplesAreDropped) {
+  QuantileDigest d;
+  d.add(1.0);
+  d.add(std::numeric_limits<real>::quiet_NaN());
+  d.add(std::numeric_limits<real>::infinity());
+  d.add(-std::numeric_limits<real>::infinity());
+  d.add(2.0);
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_EQ(d.max_value(), 2.0);
+  EXPECT_TRUE(std::isfinite(d.quantile(0.999)));
+}
+
+TEST(QuantileDigestTest, RankErrorUnderOnePercentUniform) {
+  const auto samples = uniform_samples(200'000, 42);
+  QuantileDigest d;
+  for (const real x : samples) d.add(x);
+  EXPECT_LT(max_rank_error(d, samples), 0.01);
+}
+
+TEST(QuantileDigestTest, RankErrorUnderOnePercentNormal) {
+  const auto samples = normal_samples(200'000, 7);
+  QuantileDigest d;
+  for (const real x : samples) d.add(x);
+  EXPECT_LT(max_rank_error(d, samples), 0.01);
+}
+
+TEST(QuantileDigestTest, RankErrorUnderOnePercentHeavyTail) {
+  const auto samples = lognormal_samples(200'000, 3);
+  QuantileDigest d;
+  for (const real x : samples) d.add(x);
+  EXPECT_LT(max_rank_error(d, samples), 0.01);
+}
+
+TEST(QuantileDigestTest, RankErrorUnderOnePercentSortedInput) {
+  // Pre-sorted input is the adversarial case for buffer-based sketches:
+  // every flush appends at the right edge of the centroid list.
+  auto samples = uniform_samples(200'000, 9);
+  std::sort(samples.begin(), samples.end());
+  QuantileDigest asc;
+  for (const real x : samples) asc.add(x);
+  EXPECT_LT(max_rank_error(asc, samples), 0.01);
+
+  QuantileDigest desc;
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) desc.add(*it);
+  EXPECT_LT(max_rank_error(desc, samples), 0.01);
+}
+
+TEST(QuantileDigestTest, RankErrorUnderOnePercentAfterShardMerge) {
+  // Mirror the engine: per-shard digests over disjoint sample slices,
+  // merged in flat shard order. Accuracy must survive the merge.
+  const auto samples = normal_samples(240'000, 21);
+  constexpr std::uint64_t kShards = 12;
+  std::vector<QuantileDigest> shards(kShards, QuantileDigest{});
+  for (std::uint64_t i = 0; i < samples.size(); ++i)
+    shards[i % kShards].add(samples[i]);
+
+  QuantileDigest merged;
+  for (auto& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), samples.size());
+  EXPECT_LT(max_rank_error(merged, samples), 0.01);
+}
+
+TEST(QuantileDigestTest, IdenticalSequencesYieldIdenticalQuantiles) {
+  const auto samples = lognormal_samples(60'000, 5);
+  QuantileDigest a, b;
+  for (const real x : samples) {
+    a.add(x);
+    b.add(x);
+  }
+  // Bit-identical, not approximately equal: the NDJSON determinism gate
+  // compares serialized doubles byte for byte.
+  for (const real q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.centroid_count(), b.centroid_count());
+}
+
+TEST(QuantileDigestTest, ShardMergeIsThreadCountIndependent) {
+  // The engine merges the SAME flat shard list regardless of --threads;
+  // merging one-by-one must equal merging pre-combined groups, because the
+  // operation sequence seen by the accumulator is identical. This is the
+  // in-vitro version of the CI byte-identity gate.
+  const auto samples = uniform_samples(90'000, 13);
+  constexpr std::uint64_t kShards = 9;
+  std::vector<QuantileDigest> shards(kShards, QuantileDigest{});
+  for (std::uint64_t i = 0; i < samples.size(); ++i)
+    shards[i % kShards].add(samples[i]);
+
+  QuantileDigest seq;
+  for (auto& s : shards) seq.merge(s);
+  QuantileDigest again;
+  for (auto& s : shards) again.merge(s);
+  for (const real q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_EQ(seq.quantile(q), again.quantile(q)) << "q=" << q;
+}
+
+TEST(QuantileDigestTest, CentroidCountStaysBounded) {
+  QuantileDigest d(128);
+  const auto samples = normal_samples(500'000, 17);
+  for (const real x : samples) d.add(x);
+  d.flush();
+  // O(compression) forever: the cluster bound ceil(W/compression) keeps the
+  // list within ~2x compression regardless of stream length.
+  EXPECT_LE(d.centroid_count(), 2 * d.compression());
+  EXPECT_EQ(d.count(), samples.size());
+}
+
+TEST(QuantileDigestTest, CompressionFloorIsEnforced) {
+  QuantileDigest d(1);  // clamped up to the minimum internally
+  for (int i = 0; i < 10'000; ++i) d.add(static_cast<real>(i % 100));
+  d.flush();
+  EXPECT_GE(d.compression(), 8u);
+  EXPECT_LE(d.centroid_count(), 2 * d.compression());
+}
+
+TEST(QuantileDigestTest, MergeWithEmptyIsIdentity) {
+  QuantileDigest d, empty;
+  for (int i = 0; i < 1'000; ++i) d.add(static_cast<real>(i));
+  const real before = d.quantile(0.5);
+  d.merge(empty);
+  EXPECT_EQ(d.quantile(0.5), before);
+  EXPECT_EQ(d.count(), 1'000u);
+
+  QuantileDigest fresh;
+  fresh.merge(d);
+  EXPECT_EQ(fresh.count(), 1'000u);
+  EXPECT_EQ(fresh.quantile(1.0), 999.0);
+}
+
+TEST(QuantileDigestTest, QuantilesAreMonotoneInQ) {
+  QuantileDigest d;
+  const auto samples = lognormal_samples(80'000, 29);
+  for (const real x : samples) d.add(x);
+  real prev = d.quantile(0.0);
+  for (real q = 0.05; q <= 1.0 + 1e-9; q += 0.05) {
+    const real cur = d.quantile(std::min(q, 1.0));
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace mmw::obs

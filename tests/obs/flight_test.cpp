@@ -1,0 +1,159 @@
+// FlightRecorder tests: ring wraparound, multi-thread capture, Chrome-trace
+// snapshot shape, dump files, the dump cap, and disarming.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.h"
+
+namespace mmw::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+fs::path fresh_dir(const char* tag) {
+  const fs::path dir =
+      fs::temp_directory_path() / (std::string("mmw_flight_") + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::uint64_t count_occurrences(const std::string& hay,
+                                const std::string& needle) {
+  std::uint64_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(FlightRecorderTest, RecordsAndCountsEvents) {
+  FlightRecorder rec(8);
+  EXPECT_TRUE(rec.armed());
+  EXPECT_EQ(rec.event_count(), 0u);
+  rec.record("span.a", "test", 100, 5);
+  rec.record("span.b", "test", 110, 7);
+  EXPECT_EQ(rec.event_count(), 2u);
+  rec.clear();
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAtCapacity) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    rec.record(i % 2 == 0 ? "even" : "odd", "test", i * 100, 1);
+  // Capacity bounds the ring: 10 records, only the last 4 survive.
+  EXPECT_EQ(rec.event_count(), 4u);
+
+  const std::string json = rec.chrome_json("wraparound");
+  // Survivors are i = 6..9: timestamps 600, 700, 800, 900 — oldest first.
+  EXPECT_EQ(count_occurrences(json, "\"ts\":"), 4u);
+  const auto p600 = json.find("\"ts\":600");
+  const auto p700 = json.find("\"ts\":700");
+  const auto p800 = json.find("\"ts\":800");
+  const auto p900 = json.find("\"ts\":900");
+  ASSERT_NE(p600, std::string::npos);
+  ASSERT_NE(p700, std::string::npos);
+  ASSERT_NE(p800, std::string::npos);
+  ASSERT_NE(p900, std::string::npos);
+  EXPECT_LT(p600, p700);
+  EXPECT_LT(p700, p800);
+  EXPECT_LT(p800, p900);
+  EXPECT_EQ(json.find("\"ts\":500"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ChromeJsonIsSelfDescribing) {
+  FlightRecorder rec(8);
+  rec.record("estimation.ml.solve", "estimation", 42, 13);
+  const std::string json = rec.chrome_json("unit test: reason");
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"estimation.ml.solve\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":13"), std::string::npos);
+  EXPECT_NE(json.find("\"source\":\"mmw.flight_recorder/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"unit test: reason\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, EachThreadGetsItsOwnRing) {
+  FlightRecorder rec(4);
+  rec.record("main.span", "test", 1, 1);
+  std::thread worker([&rec] {
+    for (int i = 0; i < 6; ++i) rec.record("worker.span", "test", 10 + i, 1);
+  });
+  worker.join();
+  // Main kept 1, the worker's ring wrapped to its own capacity of 4.
+  EXPECT_EQ(rec.event_count(), 5u);
+  const std::string json = rec.chrome_json("threads");
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"worker.span\""), 4u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"main.span\""), 1u);
+}
+
+TEST(FlightRecorderTest, DumpWritesSanitizedFileAndCountsUp) {
+  const fs::path dir = fresh_dir("dump");
+  FlightRecorder rec(8);
+  rec.set_dump_directory(dir.string());
+  rec.record("span", "test", 5, 2);
+
+  const std::string path = rec.dump("outage burst!");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(rec.dump_count(), 1u);
+  // Reason is sanitized into the filename but verbatim inside the document.
+  EXPECT_NE(path.find("flight_0_outage_burst_.json"), std::string::npos);
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"reason\":\"outage burst!\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"span\""), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(FlightRecorderTest, DumpsSaturateAtTheCap) {
+  const fs::path dir = fresh_dir("cap");
+  FlightRecorder rec(4);
+  rec.set_dump_directory(dir.string());
+  rec.record("span", "test", 1, 1);
+
+  std::uint64_t written = 0;
+  for (std::uint64_t i = 0; i < FlightRecorder::kMaxDumps + 5; ++i)
+    if (!rec.dump("burst").empty()) ++written;
+  EXPECT_EQ(written, FlightRecorder::kMaxDumps);
+  EXPECT_EQ(rec.dump_count(), FlightRecorder::kMaxDumps);
+
+  std::uint64_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, FlightRecorder::kMaxDumps);
+  fs::remove_all(dir);
+}
+
+TEST(FlightRecorderTest, DisarmedRecorderIsInert) {
+  const fs::path dir = fresh_dir("disarm");
+  FlightRecorder rec(8);
+  rec.set_dump_directory(dir.string());
+  rec.set_armed(false);
+  rec.record("span", "test", 1, 1);
+  EXPECT_EQ(rec.event_count(), 0u);
+  EXPECT_EQ(rec.dump("anything"), "");
+  EXPECT_EQ(rec.dump_count(), 0u);
+
+  // Re-arming restores recording without losing the registration.
+  rec.set_armed(true);
+  rec.record("span", "test", 2, 1);
+  EXPECT_EQ(rec.event_count(), 1u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mmw::obs

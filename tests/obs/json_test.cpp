@@ -1,0 +1,136 @@
+// Exhaustive escaping tests for the push-style JsonWriter. Every telemetry
+// surface (NDJSON export, Chrome traces, health.json, run manifests) funnels
+// through append_quoted(), so the escaping rules are load-bearing: a single
+// raw control character would make an entire NDJSON file unparseable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace mmw::obs {
+namespace {
+
+std::string quoted(std::string_view raw) {
+  JsonWriter w;
+  w.string(raw);
+  return std::move(w).str();
+}
+
+TEST(JsonWriterTest, PlainAsciiPassesThroughQuoted) {
+  EXPECT_EQ(quoted("hello"), "\"hello\"");
+  EXPECT_EQ(quoted(""), "\"\"");
+  EXPECT_EQ(quoted("a b c 0-9 _./:;!?"), "\"a b c 0-9 _./:;!?\"");
+}
+
+TEST(JsonWriterTest, QuoteAndBackslashAreEscaped) {
+  EXPECT_EQ(quoted("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(quoted("C:\\path\\file"), "\"C:\\\\path\\\\file\"");
+  // Pathological alternation — each source char must map to exactly one
+  // two-char escape, with no state leaking between them.
+  EXPECT_EQ(quoted("\\\"\\\""), "\"\\\\\\\"\\\\\\\"\"");
+}
+
+TEST(JsonWriterTest, ShortEscapesForCommonControls) {
+  EXPECT_EQ(quoted("line1\nline2"), "\"line1\\nline2\"");
+  EXPECT_EQ(quoted("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(quoted("col1\tcol2"), "\"col1\\tcol2\"");
+}
+
+TEST(JsonWriterTest, AllC0ControlCharactersAreEscaped) {
+  // Every byte below 0x20 must come out as either a short escape or a
+  // \u00XX sequence — never raw. RFC 8259 requires this of all of them.
+  for (unsigned c = 0; c < 0x20; ++c) {
+    const char ch = static_cast<char>(c);
+    const std::string out = quoted(std::string_view(&ch, 1));
+    std::string expected;
+    switch (ch) {
+      case '\n': expected = "\"\\n\""; break;
+      case '\r': expected = "\"\\r\""; break;
+      case '\t': expected = "\"\\t\""; break;
+      default: {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "\"\\u%04x\"", c);
+        expected = buf;
+      }
+    }
+    EXPECT_EQ(out, expected) << "control char 0x" << std::hex << c;
+  }
+}
+
+TEST(JsonWriterTest, EmbeddedNulIsEscapedNotTruncated) {
+  // A string_view carries its length; the writer must not treat the NUL as
+  // a terminator or emit it raw.
+  const char raw[] = {'a', '\0', 'b'};
+  EXPECT_EQ(quoted(std::string_view(raw, 3)), "\"a\\u0000b\"");
+}
+
+TEST(JsonWriterTest, NonAsciiBytesPassThroughUnchanged) {
+  // UTF-8 payloads (bytes >= 0x80) are forwarded verbatim — JSON strings
+  // are UTF-8, so escaping them would only bloat the output.
+  EXPECT_EQ(quoted("caf\xc3\xa9"), "\"caf\xc3\xa9\"");        // café
+  EXPECT_EQ(quoted("\xe2\x86\x92"), "\"\xe2\x86\x92\"");      // →
+  EXPECT_EQ(quoted("\xf0\x9f\x9a\x80"), "\"\xf0\x9f\x9a\x80\"");  // rocket
+  // DEL (0x7f) is not a C0 control; RFC 8259 permits it unescaped.
+  EXPECT_EQ(quoted("\x7f"), "\"\x7f\"");
+}
+
+TEST(JsonWriterTest, KeysAreEscapedLikeStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("we\"ird\nkey");
+  w.number(std::uint64_t{1});
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), "{\"we\\\"ird\\nkey\":1}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesRenderAsNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.number(std::numeric_limits<double>::quiet_NaN());
+  w.number(std::numeric_limits<double>::infinity());
+  w.number(-std::numeric_limits<double>::infinity());
+  w.number(1.5);
+  w.end_array();
+  EXPECT_EQ(std::move(w).str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriterTest, CommasAndNestingComposeAutomatically) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a");
+  w.number(std::uint64_t{1});
+  w.key("b");
+  w.begin_array();
+  w.string("x");
+  w.boolean(true);
+  w.null();
+  w.end_array();
+  w.key("c");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), "{\"a\":1,\"b\":[\"x\",true,null],\"c\":{}}");
+}
+
+TEST(JsonWriterTest, RawSplicesFragmentsWithCorrectCommas) {
+  JsonWriter inner;
+  inner.begin_object();
+  inner.key("k");
+  inner.number(std::int64_t{-7});
+  inner.end_object();
+
+  JsonWriter w;
+  w.begin_array();
+  w.raw(inner.str());
+  w.raw(inner.str());
+  w.end_array();
+  EXPECT_EQ(std::move(w).str(), "[{\"k\":-7},{\"k\":-7}]");
+}
+
+}  // namespace
+}  // namespace mmw::obs

@@ -147,18 +147,56 @@ TEST_F(ObsTest, CountsMergeAcrossThreads) {
             (std::vector<std::uint64_t>{250, 250, 250, 250, 0}));
 }
 
-TEST_F(ObsTest, GaugeLastResolvesByUpdateOrderAcrossThreads) {
+TEST_F(ObsTest, GaugeLastResolvesByShardOrderNotUpdateOrder) {
   Registry reg;
   Gauge g = reg.gauge("last");
-  // Worker writes first, then the main thread — the main thread's value is
-  // globally last even though its shard ordinal (0) sorts first.
+  // The merged `last` is last-write-wins over the DETERMINISTIC (ordinal,
+  // sequence) shard order, NOT wall-clock update order: the ordinal-1
+  // worker's value wins even though the main thread (ordinal 0) set the
+  // gauge after it — re-running with any interleaving gives the same
+  // answer, which is the PR-4 "gauge caveat" resolved.
   std::thread worker([&] {
     set_thread_ordinal(1);
     g.set(10.0);
   });
   worker.join();
   g.set(42.0);
-  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("last").last, 42.0);
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("last").last, 10.0);
+  // Order-independent aggregates still see both writes.
+  EXPECT_EQ(snap.gauges.at("last").count, 2u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("last").minimum, 10.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("last").maximum, 42.0);
+}
+
+TEST_F(ObsTest, GaugeLastWithinOneThreadIsProgramOrder) {
+  Registry reg;
+  Gauge g = reg.gauge("seq");
+  g.set(1.0);
+  g.set(7.0);
+  g.set(3.0);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("seq").last, 3.0);
+}
+
+TEST_F(ObsTest, GaugeLastSkipsShardsThatNeverSetIt) {
+  Registry reg;
+  Gauge g = reg.gauge("sparse");
+  Counter c = reg.counter("touch");
+  // The ordinal-2 thread registers a shard (via the counter) but never
+  // sets the gauge; the ordinal-1 thread's value must still win over the
+  // main thread's, and the empty higher-ordered shard must not zero it.
+  std::thread t1([&] {
+    set_thread_ordinal(1);
+    g.set(5.0);
+  });
+  t1.join();
+  std::thread t2([&] {
+    set_thread_ordinal(2);
+    c.add();
+  });
+  t2.join();
+  g.set(9.0);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("sparse").last, 5.0);
 }
 
 TEST_F(ObsTest, ConcurrentRecordingWithSnapshots) {

@@ -1,0 +1,188 @@
+// TelemetryRecord / TelemetrySink tests: schema shape, the timing-last
+// contract that the determinism gate depends on, and NDJSON sink behavior.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace mmw::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+TelemetryRecord sample_record() {
+  TelemetryRecord r;
+  r.epoch = 17;
+  r.live_sessions = 100'000;
+  r.arrivals = 512;
+  r.departures = 498;
+  r.aligning_steps = 2048;
+  r.tracking_steps = 97'952;
+  r.outages = 33;
+  r.realignments = 21;
+  r.claims = 640;
+  r.measurement_slots = 81'920;
+  r.estimator_nonconverged = 2;
+  r.pool_resident_bytes = 1'234'567;
+  r.pool_high_water_bytes = 2'345'678;
+  r.loss_count = 97'952;
+  r.loss_mean_db = -1.25;
+  r.loss_p50_db = -1.5;
+  r.loss_p90_db = -0.5;
+  r.loss_p99_db = 0.75;
+  r.loss_p999_db = 2.5;
+  r.loss_max_db = 6.0;
+  r.epoch_seconds = 0.123;
+  r.epoch_seconds_p50 = 0.1;
+  r.epoch_seconds_p99 = 0.3;
+  r.pool_busy_us = 4000;
+  r.pool_idle_us = 1000;
+  r.rss_bytes = 99'999'999;
+  r.arena_high_water_bytes = 42'000;
+  r.flight_events = 77;
+  return r;
+}
+
+TEST(TelemetryRecordTest, JsonLeadsWithSchemaAndGroupsFields) {
+  const std::string json = sample_record().to_json();
+  EXPECT_EQ(json.rfind("{\"schema\":\"mmw.telemetry/1\",\"epoch\":17,", 0),
+            0u);
+  EXPECT_NE(json.find("\"counters\":{\"live_sessions\":100000,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"estimator_nonconverged\":2}"), std::string::npos);
+  EXPECT_NE(json.find("\"memory\":{\"pool_resident_bytes\":1234567,"
+                      "\"pool_high_water_bytes\":2345678}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"loss_db\":{\"count\":97952,\"mean\":-1.25,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p999\":2.5,\"max\":6}"), std::string::npos);
+  EXPECT_NE(json.find("\"timing\":{\"epoch_seconds\":0.123,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"flight_events\":77}"), std::string::npos);
+}
+
+TEST(TelemetryRecordTest, TimingIsTheLastKey) {
+  const std::string json = sample_record().to_json(true);
+  const auto pos = json.find(",\"timing\":{");
+  ASSERT_NE(pos, std::string::npos);
+  // The timing object runs to the end of the record: "...}}" closes timing
+  // and then the record itself, with no sibling key in between.
+  EXPECT_EQ(json.substr(json.size() - 2), "}}");
+  const std::string tail = json.substr(pos + 1);
+  EXPECT_EQ(tail.find("},\""), std::string::npos)
+      << "a key follows the timing object";
+}
+
+TEST(TelemetryRecordTest, TruncatingAtTimingEqualsExcludingIt) {
+  // THE contract the CI determinism gate and telemetry_report.py rely on:
+  // stripping wall-time is a string truncation, no JSON parser needed.
+  const TelemetryRecord r = sample_record();
+  const std::string with = r.to_json(true);
+  const std::string without = r.to_json(false);
+  const auto pos = with.find(",\"timing\":");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(with.substr(0, pos) + "}", without);
+}
+
+TEST(TelemetryRecordTest, TimingDoesNotLeakIntoDeterministicPrefix) {
+  TelemetryRecord a = sample_record();
+  TelemetryRecord b = sample_record();
+  // Perturb ONLY timing fields: the deterministic prefix must not move.
+  b.epoch_seconds = 9.87;
+  b.pool_busy_us = 1;
+  b.pool_idle_us = 999'999;
+  b.rss_bytes = 1;
+  b.arena_high_water_bytes = 0;
+  b.flight_events = 0;
+  EXPECT_NE(a.to_json(true), b.to_json(true));
+  EXPECT_EQ(a.to_json(false), b.to_json(false));
+}
+
+TEST(TelemetrySinkTest, WritesOneLinePerRecordAndCreatesParents) {
+  const fs::path dir =
+      fs::temp_directory_path() / "mmw_telemetry_test" / "nested";
+  fs::remove_all(dir.parent_path());
+  const fs::path path = dir / "epochs.ndjson";
+
+  TelemetrySink sink;
+  ASSERT_TRUE(sink.open(path.string()));
+  EXPECT_TRUE(sink.is_open());
+  TelemetryRecord r = sample_record();
+  sink.write(r);
+  r.epoch = 18;
+  sink.write(r);
+  EXPECT_EQ(sink.records_written(), 2u);
+  sink.close();
+  EXPECT_FALSE(sink.is_open());
+
+  const std::string body = slurp(path);
+  std::vector<std::string> lines;
+  for (std::size_t start = 0; start < body.size();) {
+    const auto nl = body.find('\n', start);
+    ASSERT_NE(nl, std::string::npos) << "file must end with a newline";
+    lines.push_back(body.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("{\"schema\":\"mmw.telemetry/1\",\"epoch\":17,", 0),
+            0u);
+  EXPECT_EQ(lines[1].rfind("{\"schema\":\"mmw.telemetry/1\",\"epoch\":18,", 0),
+            0u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+  fs::remove_all(dir.parent_path());
+}
+
+TEST(TelemetrySinkTest, ClosedSinkIsANoOp) {
+  TelemetrySink sink;
+  EXPECT_FALSE(sink.is_open());
+  sink.write(sample_record());  // must not crash
+  EXPECT_EQ(sink.records_written(), 0u);
+  sink.close();  // idempotent
+}
+
+TEST(TelemetrySinkTest, OpenFailureLeavesSinkClosed) {
+  TelemetrySink sink;
+  // A path whose parent is a FILE cannot be created.
+  const fs::path block =
+      fs::temp_directory_path() / "mmw_telemetry_block_file";
+  {
+    std::ofstream out(block);
+    out << "x";
+  }
+  EXPECT_FALSE(sink.open((block / "child" / "t.ndjson").string()));
+  EXPECT_FALSE(sink.is_open());
+  fs::remove(block);
+}
+
+TEST(TelemetrySinkTest, ReopenTruncates) {
+  const fs::path path =
+      fs::temp_directory_path() / "mmw_telemetry_reopen.ndjson";
+  TelemetrySink sink;
+  ASSERT_TRUE(sink.open(path.string()));
+  sink.write(sample_record());
+  sink.write(sample_record());
+  ASSERT_TRUE(sink.open(path.string()));  // open() closes and truncates
+  sink.write(sample_record());
+  sink.close();
+  const std::string body = slurp(path);
+  EXPECT_EQ(std::count(body.begin(), body.end(), '\n'), 1);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace mmw::obs

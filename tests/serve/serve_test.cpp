@@ -13,10 +13,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/obs.h"
 
 namespace mmw::serve {
@@ -195,6 +200,187 @@ TEST(ServingEngine, EpochReportsAreStreamedNotResident) {
   std::uint64_t stepped = 0;
   for (const EpochReport& e : r.epochs) stepped += e.live_sessions;
   EXPECT_EQ(stepped, r.sessions_stepped);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane (DESIGN.md §14): NDJSON determinism, quantile sanity,
+// anomaly-triggered flight dumps, and the watchdog.
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+fs::path telemetry_dir() {
+  const fs::path dir = fs::temp_directory_path() / "mmw_serve_telemetry";
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Applies the determinism contract: drops each record's trailing "timing"
+/// object by string truncation (it is guaranteed to be the last key).
+std::string strip_timing(const std::string& ndjson) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < ndjson.size()) {
+    auto nl = ndjson.find('\n', start);
+    if (nl == std::string::npos) nl = ndjson.size();
+    std::string line = ndjson.substr(start, nl - start);
+    const auto pos = line.find(",\"timing\":");
+    if (pos != std::string::npos) line = line.substr(0, pos) + "}";
+    out += line;
+    out += '\n';
+    start = nl + 1;
+  }
+  return out;
+}
+
+TEST(ServingTelemetry, NdjsonCountersAreByteIdenticalAcrossThreadCounts) {
+  const fs::path dir = telemetry_dir();
+  ServeConfig cfg = tiny_config();
+  cfg.arrival_rate = 3.0;
+  cfg.mean_sojourn_epochs = 4.0;
+  cfg.blockage_probability = 0.2;
+
+  std::vector<std::string> stripped;
+  for (const index_t threads : {1, 2, 4, 0}) {
+    const fs::path path =
+        dir / ("epochs_t" + std::to_string(threads) + ".ndjson");
+    cfg.scenario.threads = threads;
+    cfg.telemetry.ndjson_path = path.string();
+    ServingEngine engine(cfg);
+    const ServeResult r = engine.run();
+    EXPECT_EQ(r.telemetry_records, cfg.epochs);
+    const std::string body = slurp(path);
+    // Every line is one record with the schema marker and a timing object.
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  std::count(body.begin(), body.end(), '\n')),
+              cfg.epochs);
+    EXPECT_EQ(body.rfind("{\"schema\":\"mmw.telemetry/1\"", 0), 0u);
+    EXPECT_NE(body.find(",\"timing\":{"), std::string::npos);
+    stripped.push_back(strip_timing(body));
+    fs::remove(path);
+  }
+  // The deterministic prefix (counters, memory, loss quantiles) must be
+  // byte-identical at any thread count; only "timing" may differ.
+  EXPECT_EQ(stripped[0], stripped[1]);
+  EXPECT_EQ(stripped[0], stripped[2]);
+  EXPECT_EQ(stripped[0], stripped[3]);
+}
+
+TEST(ServingTelemetry, TelemetryExportNeverChangesResults) {
+  const fs::path path = telemetry_dir() / "observe_only.ndjson";
+  ServeConfig cfg = tiny_config();
+  const std::string bare = run_csv(cfg, 2);
+  cfg.telemetry.ndjson_path = path.string();
+  // Telemetry is observe-only: enabling the sink cannot move a single byte
+  // of the scientific output.
+  EXPECT_EQ(bare, run_csv(cfg, 2));
+  fs::remove(path);
+}
+
+TEST(ServingTelemetry, LossQuantilesAreOrderedPerEpochAndRunLevel) {
+  ServeConfig cfg = tiny_config();
+  cfg.epochs = 10;
+  cfg.blockage_probability = 0.3;
+  ServingEngine engine(cfg);
+  const ServeResult r = engine.run();
+
+  for (const EpochReport& e : r.epochs) {
+    if (e.loss_samples == 0) continue;
+    EXPECT_LE(e.p50_loss_db, e.p90_loss_db);
+    EXPECT_LE(e.p90_loss_db, e.p99_loss_db);
+    EXPECT_LE(e.p99_loss_db, e.p999_loss_db);
+    EXPECT_LE(e.p999_loss_db, e.max_loss_db);
+    EXPECT_GE(e.p50_loss_db, 0.0);  // oracle bound ⇒ loss ≥ 0
+    EXPECT_GE(e.mean_loss_db, 0.0);
+  }
+  ASSERT_GT(r.loss_samples, 0u);
+  EXPECT_LE(r.loss_p50_db, r.loss_p90_db);
+  EXPECT_LE(r.loss_p90_db, r.loss_p99_db);
+  EXPECT_LE(r.loss_p99_db, r.loss_p999_db);
+  EXPECT_GE(r.epoch_seconds_p99, r.epoch_seconds_p50);
+  EXPECT_GT(r.epoch_seconds_p50, 0.0);
+}
+
+TEST(ServingTelemetry, OutageBurstDumpsFlightRecorderOnce) {
+  const fs::path dir = telemetry_dir() / "burst_dumps";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  obs::FlightRecorder::global().set_dump_directory(dir.string());
+
+  ServeConfig cfg = tiny_config();
+  cfg.epochs = 10;
+  cfg.blockage_probability = 0.4;  // reliably produces outages
+  cfg.telemetry.outage_burst_dump_threshold = 1;
+  const std::uint64_t before = obs::FlightRecorder::global().dump_count();
+  ServingEngine engine(cfg);
+  engine.run();
+  // Latched: the first burst dumps, later bursts in the same run do not.
+  EXPECT_EQ(obs::FlightRecorder::global().dump_count(), before + 1);
+
+  bool found = false;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.path().filename().string().find("outage_burst") !=
+        std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+  obs::FlightRecorder::global().set_dump_directory("bench_results");
+  fs::remove_all(dir);
+}
+
+TEST(ServingTelemetry, InjectedStallTripsWatchdog) {
+  const fs::path dir = telemetry_dir() / "stall_dumps";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  obs::FlightRecorder::global().set_dump_directory(dir.string());
+  const fs::path health = dir / "health.json";
+
+  ServeConfig cfg = tiny_config();
+  cfg.scenario.threads = 1;
+  cfg.telemetry.watchdog = true;
+  cfg.telemetry.health_path = health.string();
+  cfg.telemetry.watchdog_poll_seconds = 0.005;
+  cfg.telemetry.watchdog_min_stall_seconds = 0.05;
+  cfg.telemetry.watchdog_stall_multiplier = 2.0;
+  // The test hook: a pure wall-clock sleep in epoch 3 — no Rng, no state,
+  // so results stay deterministic while the epoch loop visibly freezes.
+  cfg.telemetry.stall_test_seconds = 0.5;
+  cfg.telemetry.stall_test_epoch = 3;
+
+  {
+    ServingEngine engine(cfg);
+    const ServeResult r = engine.run();
+    EXPECT_TRUE(r.watchdog_tripped);
+    ASSERT_NE(engine.watchdog(), nullptr);
+    EXPECT_GE(engine.watchdog()->trips(), 1u);
+    ASSERT_TRUE(fs::exists(health));
+    EXPECT_NE(slurp(health).find("\"schema\":\"mmw.health/1\""),
+              std::string::npos);
+  }
+  // Engine teardown stops the watchdog, which leaves a terminal document.
+  const std::string body = slurp(health);
+  EXPECT_NE(body.find("\"status\":\"stopped\""), std::string::npos);
+  EXPECT_NE(body.find("\"trips\":"), std::string::npos);
+  obs::FlightRecorder::global().set_dump_directory("bench_results");
+  fs::remove_all(dir);
+}
+
+TEST(ServingTelemetry, HealthyRunNeverTrips) {
+  const fs::path health = telemetry_dir() / "healthy.health.json";
+  ServeConfig cfg = tiny_config();
+  cfg.telemetry.watchdog = true;
+  cfg.telemetry.health_path = health.string();
+  cfg.telemetry.watchdog_poll_seconds = 0.005;  // poll a lot; still no trip
+  ServingEngine engine(cfg);
+  const ServeResult r = engine.run();
+  EXPECT_FALSE(r.watchdog_tripped);
+  ASSERT_NE(engine.watchdog(), nullptr);
+  EXPECT_EQ(engine.watchdog()->trips(), 0u);
+  EXPECT_FALSE(engine.watchdog()->stalled());
+  fs::remove(health);
 }
 
 }  // namespace

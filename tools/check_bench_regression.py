@@ -34,7 +34,10 @@ and the session struct must fit its byte budget; (b) throughput:
 users/sec/core must stay within --serving-tolerance of the baseline
 (default 50% — wall-clock throughput across heterogeneous uncalibrated
 runners is a tripwire for order-of-magnitude regressions, not a precision
-gate).
+gate); (c) tail quality: loss_p99_db (the digest-derived p99 alignment
+loss, PR 9) must not exceed the baseline by more than --loss-tolerance-db
+(default 0.5 dB) — skipped per scale when either file predates the
+quantile fields.
 
 Usage:
   python3 tools/check_bench_regression.py --current BENCH_micro_linalg.json
@@ -147,7 +150,8 @@ def check_serving(args):
 
     limit = 1.0 - args.serving_tolerance
     print(f"{'sessions':>10} {'base users/s/core':>18} "
-          f"{'cur users/s/core':>18} {'B/sess base':>12} {'cur':>8}")
+          f"{'cur users/s/core':>18} {'B/sess base':>12} {'cur':>8} "
+          f"{'p99 base':>9} {'cur':>7}")
     for sessions in common:
         base, cur = base_scales[sessions], cur_scales[sessions]
         tput_ok = cur["users_per_sec_per_core"] >= \
@@ -156,15 +160,28 @@ def check_serving(args):
         # increase is a real footprint regression, so only float rounding
         # slack is allowed.
         mem_ok = cur["bytes_per_session"] <= base["bytes_per_session"] * 1.001
-        verdict = "ok" if (tput_ok and mem_ok) else "FAIL"
+        # p99 alignment loss is deterministic for a fixed (config, seed) but
+        # the CI smoke may run a different epoch count than the committed
+        # sweep, so a small absolute dB tolerance absorbs the horizon
+        # difference while still catching a real tail-quality regression
+        # (a broken estimator or codeword-scoring bug moves p99 by many dB).
+        base_p99, cur_p99 = base.get("loss_p99_db"), cur.get("loss_p99_db")
+        loss_ok = (base_p99 is None or cur_p99 is None or
+                   cur_p99 <= base_p99 + args.loss_tolerance_db)
+        verdict = "ok" if (tput_ok and mem_ok and loss_ok) else "FAIL"
         print(f"{sessions:>10} {base['users_per_sec_per_core']:>18.0f} "
               f"{cur['users_per_sec_per_core']:>18.0f} "
               f"{base['bytes_per_session']:>12.1f} "
-              f"{cur['bytes_per_session']:>8.1f}  {verdict}")
+              f"{cur['bytes_per_session']:>8.1f} "
+              f"{'-' if base_p99 is None else format(base_p99, '>9.2f')} "
+              f"{'-' if cur_p99 is None else format(cur_p99, '>7.2f')}"
+              f"  {verdict}")
         if not tput_ok:
             failed.append(f"{sessions}:throughput")
         if not mem_ok:
             failed.append(f"{sessions}:bytes_per_session")
+        if not loss_ok:
+            failed.append(f"{sessions}:loss_p99_db")
 
     if failed:
         print(f"\nFAIL: serving gate violations vs {baseline_path}: "
@@ -198,6 +215,9 @@ def main():
     parser.add_argument("--serving-tolerance", type=float, default=0.5,
                         help="allowed fractional users/sec/core shortfall "
                              "(default: %(default)s)")
+    parser.add_argument("--loss-tolerance-db", type=float, default=0.5,
+                        help="allowed absolute p99 alignment-loss increase "
+                             "in dB (default: %(default)s)")
     args = parser.parse_args()
 
     if not args.current and not args.serving_current:

@@ -21,10 +21,26 @@ so --current may be given several times and repeated rows within one file
 (--benchmark_repetitions) are folded together; the per-benchmark minimum is
 compared, which is the standard de-noising for time-based microbenchmarks.
 
+A second, same-machine gate covers the flight recorder (PR 9): TraceScope
+feeds per-thread ring buffers even when obs is disabled (flight.h), so the
+"disabled" hot path now carries the ring write. Pass --flight-on and
+--flight-off with two runs of the SAME binary on the SAME machine — one
+with the recorder armed (the default) and one under MMW_FLIGHT=off — and
+the armed run must stay within --tolerance of the disarmed one. No
+calibration applies there: both runs share the machine, so raw times are
+directly comparable. Set MMW_FLIGHT=on explicitly on the armed side: the
+two environments must have EQUAL length, because an extra env var shifts
+the initial stack alignment and that alone skews short microbenches by
+~10% (Mytkowicz et al., "Producing Wrong Data Without Doing Anything
+Obviously Wrong", ASPLOS'09).
+
 Usage:
   python3 tools/check_obs_overhead.py --current BENCH_micro_linalg.json
   python3 tools/check_obs_overhead.py --current run1.json --current run2.json \
       --baseline old.json --tolerance 0.03 --no-calibrate
+  MMW_FLIGHT=off ./bench/micro_linalg --benchmark_format=json > off.json
+  MMW_FLIGHT=on  ./bench/micro_linalg --benchmark_format=json > on.json
+  python3 tools/check_obs_overhead.py --flight-on on.json --flight-off off.json
 
 Exit status 0 if every gated benchmark is within tolerance, 1 otherwise.
 Only the Python standard library is used.
@@ -87,9 +103,74 @@ def load_times(paths):
     return times
 
 
+def check_ratios(baseline, current, prefix, tolerance, scale, what):
+    """Shared ratio gate: every `prefix` benchmark in both maps must have
+    current <= baseline * scale * (1 + tolerance). Returns (exit status)."""
+    gated = sorted(n for n in baseline if n.startswith(prefix) and n in current)
+    if not gated:
+        print(f"error: no benchmarks matching '{prefix}' present in both "
+              f"inputs for the {what} gate", file=sys.stderr)
+        return 1
+    limit = 1.0 + tolerance
+    failed = []
+    print(f"{'benchmark':<40} {'baseline ns':>14} {'current ns':>14} "
+          f"{'ratio':>8}")
+    for name in gated:
+        ratio = current[name] / (baseline[name] * scale)
+        verdict = "ok" if ratio <= limit else "FAIL"
+        print(f"{name:<40} {baseline[name]:>14.0f} {current[name]:>14.0f} "
+              f"{ratio:>8.4f}  {verdict}")
+        if ratio > limit:
+            failed.append(name)
+    if failed:
+        print(f"\nFAIL: {len(failed)} benchmark(s) exceed the "
+              f"{tolerance:.0%} {what} budget: " + ", ".join(failed),
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: all {len(gated)} gated benchmarks within "
+          f"{tolerance:.0%} of baseline ({what})")
+    return 0
+
+
+def check_flight(args):
+    """A/B gate: armed flight recorder vs MMW_FLIGHT=off, same machine.
+
+    Gates on the MEDIAN armed/disarmed ratio across the gated benchmarks,
+    not per benchmark: the recorder's cost (a ring write per span) is
+    systematic — it moves every instrumented bench together — while
+    scheduler/frequency noise is idiosyncratic per bench and routinely
+    exceeds 3% either way on shared runners. The per-bench table is still
+    printed for diagnosis."""
+    on = load_times(args.flight_on)
+    off = load_times(args.flight_off)
+    gated = sorted(n for n in off if n.startswith(args.filter) and n in on)
+    if not gated:
+        print(f"error: no benchmarks matching '{args.filter}' present in "
+              f"both --flight-on and --flight-off inputs", file=sys.stderr)
+        return 1
+    print("flight-recorder overhead gate (armed vs MMW_FLIGHT=off, "
+          "same machine, no calibration):")
+    print(f"{'benchmark':<40} {'off ns':>14} {'on ns':>14} {'ratio':>8}")
+    ratios = []
+    for name in gated:
+        ratio = on[name] / off[name]
+        ratios.append(ratio)
+        print(f"{name:<40} {off[name]:>14.0f} {on[name]:>14.0f} "
+              f"{ratio:>8.4f}")
+    med = statistics.median(ratios)
+    if med > 1.0 + args.tolerance:
+        print(f"\nFAIL: median armed/disarmed ratio {med:.4f} exceeds the "
+              f"{args.tolerance:.0%} flight-recorder budget over "
+              f"{len(gated)} benchmark(s)", file=sys.stderr)
+        return 1
+    print(f"\nOK: median armed/disarmed ratio {med:.4f} within "
+          f"{args.tolerance:.0%} over {len(gated)} benchmark(s)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--current", required=True, action="append",
+    parser.add_argument("--current", action="append",
                         help="google-benchmark JSON from this build "
                              "(repeatable; per-benchmark minimum is used)")
     parser.add_argument("--baseline", action="append",
@@ -101,53 +182,45 @@ def main():
                         help="benchmark-name prefix to gate (default: %(default)s)")
     parser.add_argument("--no-calibrate", action="store_true",
                         help="compare raw times (same-machine runs only)")
+    parser.add_argument("--flight-on", action="append",
+                        help="bench JSON with the flight recorder armed "
+                             "(repeatable; per-benchmark minimum is used)")
+    parser.add_argument("--flight-off", action="append",
+                        help="bench JSON recorded under MMW_FLIGHT=off on "
+                             "the same machine as --flight-on")
     args = parser.parse_args()
 
-    baseline_paths = args.baseline or ["bench_results/BENCH_micro_linalg.json"]
-    baseline = load_times(baseline_paths)
-    current = load_times(args.current)
+    if bool(args.flight_on) != bool(args.flight_off):
+        parser.error("--flight-on and --flight-off must be given together")
+    if not args.current and not args.flight_on:
+        parser.error("nothing to gate: pass --current and/or "
+                     "--flight-on/--flight-off")
 
-    gated = sorted(n for n in baseline
-                   if n.startswith(args.filter) and n in current)
-    if not gated:
-        print(f"error: no benchmarks matching '{args.filter}' present in both "
-              f"{baseline_paths} and {args.current}", file=sys.stderr)
-        return 1
+    status = 0
+    if args.current:
+        baseline_paths = (args.baseline
+                          or ["bench_results/BENCH_micro_linalg.json"])
+        baseline = load_times(baseline_paths)
+        current = load_times(args.current)
 
-    scale = 1.0
-    if not args.no_calibrate:
-        ratios = [current[n] / baseline[n]
-                  for n in baseline
-                  if n.startswith(CALIBRATION_PREFIXES) and n in current
-                  and baseline[n] > 0.0]
-        if not ratios:
-            print("error: no calibration benchmarks in common; "
-                  "rerun with --no-calibrate", file=sys.stderr)
-            return 1
-        scale = statistics.median(ratios)
-        print(f"machine-speed scale factor (median over {len(ratios)} "
-              f"calibration benches): {scale:.4f}")
-
-    limit = 1.0 + args.tolerance
-    failed = []
-    print(f"{'benchmark':<40} {'baseline ns':>14} {'current ns':>14} "
-          f"{'ratio':>8}")
-    for name in gated:
-        ratio = current[name] / (baseline[name] * scale)
-        verdict = "ok" if ratio <= limit else "FAIL"
-        print(f"{name:<40} {baseline[name]:>14.0f} {current[name]:>14.0f} "
-              f"{ratio:>8.4f}  {verdict}")
-        if ratio > limit:
-            failed.append(name)
-
-    if failed:
-        print(f"\nFAIL: {len(failed)} benchmark(s) exceed the "
-              f"{args.tolerance:.0%} disabled-instrumentation budget: "
-              + ", ".join(failed), file=sys.stderr)
-        return 1
-    print(f"\nOK: all {len(gated)} gated benchmarks within "
-          f"{args.tolerance:.0%} of baseline")
-    return 0
+        scale = 1.0
+        if not args.no_calibrate:
+            ratios = [current[n] / baseline[n]
+                      for n in baseline
+                      if n.startswith(CALIBRATION_PREFIXES) and n in current
+                      and baseline[n] > 0.0]
+            if not ratios:
+                print("error: no calibration benchmarks in common; "
+                      "rerun with --no-calibrate", file=sys.stderr)
+                return 1
+            scale = statistics.median(ratios)
+            print(f"machine-speed scale factor (median over {len(ratios)} "
+                  f"calibration benches): {scale:.4f}")
+        status |= check_ratios(baseline, current, args.filter, args.tolerance,
+                               scale, "disabled-instrumentation overhead")
+    if args.flight_on:
+        status |= check_flight(args)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Summarize, tail, canonicalize, and SLO-check serving telemetry NDJSON.
+
+The serving engine (src/serve, --telemetry on ext_serving_throughput)
+streams one mmw.telemetry/1 record per epoch. This tool is the operator
+side of that contract:
+
+**Summary** (default): prints a per-epoch table (sessions, churn, outages,
+re-alignments, loss quantiles, epoch wall time) followed by run totals.
+
+**SLO checks**: --slo-p99-loss-db and --slo-outage-rate turn the summary
+into a gate — exit status 1 when any epoch's p99 loss exceeds the budget
+or the run's outage rate (total outages / total session-epochs) does.
+An epoch with no tracking sessions has no loss quantiles and is skipped.
+
+**--tail**: follow mode. Seeks to the end of the file and prints each new
+record as it is flushed (the sink flushes per line, so an epoch appears
+the moment it completes). Ctrl-C to stop.
+
+**--strip-timing**: canonicalizer for determinism comparisons. Emits each
+record with its trailing "timing" object removed — by the schema contract
+"timing" is the LAST key, so this is a string truncation, and the output
+of two runs at different --threads must be byte-identical. The CI gate
+diffs exactly this output.
+
+Usage:
+  python3 tools/telemetry_report.py epochs.ndjson
+  python3 tools/telemetry_report.py epochs.ndjson \
+      --slo-p99-loss-db 3.0 --slo-outage-rate 0.02
+  python3 tools/telemetry_report.py epochs.ndjson --tail
+  python3 tools/telemetry_report.py a.ndjson --strip-timing > a.stripped
+
+Exit status 0 on success / SLOs met, 1 on malformed input or SLO breach.
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+SCHEMA = "mmw.telemetry/1"
+TIMING_MARKER = ',"timing":'
+
+
+def strip_timing_line(line):
+    """Drops the trailing "timing" object from one serialized record.
+    Pure string truncation — valid because "timing" is the last key."""
+    pos = line.find(TIMING_MARKER)
+    return line[:pos] + "}" if pos >= 0 else line
+
+
+def parse_record(line, lineno, path):
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError as e:
+        print(f"error: {path}:{lineno}: not valid JSON ({e})\n"
+              f"  (a crashed run can leave a torn final line; every other "
+              f"line being broken means this is not a telemetry file)",
+              file=sys.stderr)
+        return None
+    if rec.get("schema") != SCHEMA:
+        print(f"error: {path}:{lineno}: schema {rec.get('schema')!r}, "
+              f"expected {SCHEMA!r}", file=sys.stderr)
+        return None
+    return rec
+
+
+HEADER = (f"{'epoch':>6} {'live':>9} {'arr':>6} {'dep':>6} {'outage':>7} "
+          f"{'realign':>8} {'nonconv':>8} {'p50 dB':>8} {'p99 dB':>8} "
+          f"{'p999 dB':>8} {'max dB':>8} {'sec':>8}")
+
+
+def format_row(rec):
+    c = rec.get("counters", {})
+    loss = rec.get("loss_db", {})
+    timing = rec.get("timing", {})
+
+    def q(key):
+        return f"{loss[key]:8.2f}" if loss.get("count", 0) > 0 else "       -"
+
+    sec = timing.get("epoch_seconds")
+    sec_txt = f"{sec:8.3f}" if sec is not None else f"{'-':>8}"
+    return (f"{rec.get('epoch', 0):>6} {c.get('live_sessions', 0):>9} "
+            f"{c.get('arrivals', 0):>6} {c.get('departures', 0):>6} "
+            f"{c.get('outages', 0):>7} {c.get('realignments', 0):>8} "
+            f"{c.get('estimator_nonconverged', 0):>8} "
+            f"{q('p50')} {q('p99')} {q('p999')} {q('max')} {sec_txt}")
+
+
+def summarize(records, args):
+    print(HEADER)
+    for rec in records:
+        print(format_row(rec))
+
+    total_outages = sum(r["counters"].get("outages", 0) for r in records)
+    total_steps = sum(r["counters"].get("aligning_steps", 0) +
+                      r["counters"].get("tracking_steps", 0)
+                      for r in records)
+    total_realign = sum(r["counters"].get("realignments", 0)
+                        for r in records)
+    outage_rate = total_outages / total_steps if total_steps else 0.0
+    worst_p99 = max((r["loss_db"]["p99"] for r in records
+                     if r.get("loss_db", {}).get("count", 0) > 0),
+                    default=None)
+    last = records[-1]
+    print(f"\n{len(records)} epochs, final live sessions "
+          f"{last['counters'].get('live_sessions', 0)}, "
+          f"outage rate {outage_rate:.4%} "
+          f"({total_outages}/{total_steps} session-epochs), "
+          f"{total_realign} re-alignments, worst epoch p99 loss "
+          + (f"{worst_p99:.2f} dB" if worst_p99 is not None else "n/a"))
+    mem = last.get("memory", {})
+    timing = last.get("timing", {})
+    if mem:
+        print(f"pool resident {mem.get('pool_resident_bytes', 0):,} B "
+              f"(high water {mem.get('pool_high_water_bytes', 0):,} B), "
+              f"final RSS {timing.get('rss_bytes', 0):,} B")
+
+    failures = []
+    if args.slo_p99_loss_db is not None and worst_p99 is not None \
+            and worst_p99 > args.slo_p99_loss_db:
+        failures.append(f"worst epoch p99 loss {worst_p99:.2f} dB > "
+                        f"SLO {args.slo_p99_loss_db:.2f} dB")
+    if args.slo_outage_rate is not None \
+            and outage_rate > args.slo_outage_rate:
+        failures.append(f"outage rate {outage_rate:.4%} > "
+                        f"SLO {args.slo_outage_rate:.4%}")
+    for f in failures:
+        print(f"SLO FAIL: {f}", file=sys.stderr)
+    if not failures and (args.slo_p99_loss_db is not None or
+                         args.slo_outage_rate is not None):
+        print("SLO OK")
+    return 1 if failures else 0
+
+
+def tail(path):
+    """Follow mode: print each record as the engine flushes it."""
+    printed_header = False
+    # Binary mode: a partially flushed line is buffered until its newline
+    # arrives, and byte offsets stay honest (text-mode seek arithmetic is
+    # not defined).
+    with open(path, "rb") as f:
+        f.seek(0, 2)  # the past is in the summary; tail shows the future
+        pending = b""
+        while True:
+            chunk = f.readline()
+            if not chunk:
+                time.sleep(0.2)
+                continue
+            pending += chunk
+            if not pending.endswith(b"\n"):
+                continue  # torn line: the writer is mid-flush
+            line = pending.decode("utf-8", errors="replace").strip()
+            pending = b""
+            if not line:
+                continue
+            rec = parse_record(line, "-", path)
+            if rec is None:
+                return 1
+            if not printed_header:
+                print(HEADER)
+                printed_header = True
+            print(format_row(rec), flush=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="telemetry NDJSON file (mmw.telemetry/1)")
+    parser.add_argument("--strip-timing", action="store_true",
+                        help="emit records with the timing object removed "
+                             "(determinism canonicalizer) and exit")
+    parser.add_argument("--tail", action="store_true",
+                        help="follow the file, printing new epochs live")
+    parser.add_argument("--slo-p99-loss-db", type=float,
+                        help="fail if any epoch's p99 loss exceeds this")
+    parser.add_argument("--slo-outage-rate", type=float,
+                        help="fail if total outages / session-epochs "
+                             "exceeds this")
+    args = parser.parse_args()
+
+    if args.tail:
+        try:
+            return tail(args.path)
+        except KeyboardInterrupt:
+            return 0
+        except FileNotFoundError:
+            print(f"error: telemetry file not found: {args.path}",
+                  file=sys.stderr)
+            return 1
+
+    try:
+        with open(args.path) as f:
+            lines = [ln.rstrip("\n") for ln in f if ln.strip()]
+    except FileNotFoundError:
+        print(f"error: telemetry file not found: {args.path}\n"
+              f"  (did the run use --telemetry, and is the path relative "
+              f"to the repo root?)", file=sys.stderr)
+        return 1
+    if not lines:
+        print(f"error: {args.path} is empty — the run wrote no epochs",
+              file=sys.stderr)
+        return 1
+
+    if args.strip_timing:
+        for line in lines:
+            print(strip_timing_line(line))
+        return 0
+
+    records = []
+    for i, line in enumerate(lines, 1):
+        rec = parse_record(line, i, args.path)
+        if rec is None:
+            return 1
+        records.append(rec)
+    return summarize(records, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
