@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "linalg/common.h"
+#include "randgen/keylanes.h"
 #include "randgen/rng.h"
 
 namespace mmw::fault {
@@ -141,7 +142,9 @@ class FaultPlan {
 /// (sim/multicell.cpp); fault plans live at kFaultKeyBase + entity, far
 /// outside any realistic cell count, so adding fault injection never
 /// collides with — or perturbs — an existing stream (DESIGN.md §11).
-inline constexpr std::uint64_t kFaultKeyBase = 0xFA17'0000'0000'0000ULL;
+/// Aliases the registry entry in randgen/keylanes.h (the registry test
+/// keeps every reserved lane pairwise disjoint).
+inline constexpr std::uint64_t kFaultKeyBase = randgen::lanes::kFaultLaneBase;
 
 /// The fault stream of (seed, entity, trial). Single-link drivers use
 /// entity 0; the multi-cell engine uses entity = cell·users_per_cell + user.

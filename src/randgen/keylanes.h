@@ -1,0 +1,104 @@
+// The RNG key-lane registry: every reserved key_a range of the three-key
+// Rng::stream(seed, key_a, key_b, key_c) partition, in one place.
+//
+// Determinism across the repo rests on stream disjointness: two subsystems
+// that draw from the same (seed, key_a, key_b, key_c) tuple would silently
+// correlate, and a lane collision is invisible until a statistic drifts.
+// This header names every reserved lane as a [base, base + span) interval
+// of key_a values; tests/randgen/keylanes_test.cpp asserts the intervals
+// are pairwise disjoint, so adding a lane that overlaps an existing one is
+// a test failure, not a latent bug. The same table is documented in
+// DESIGN.md §10 (Conventions).
+//
+// Unreserved key_a space (experiment drivers use key_a = trial index with
+// small key_b/key_c) lives far below every reserved base; the reserved
+// bases sit in the upper half of the 64-bit key space precisely so trial
+// counts can never walk into them.
+#pragma once
+
+#include <cstdint>
+
+namespace mmw::randgen::lanes {
+
+/// One reserved key_a interval [base, base + span).
+struct KeyLane {
+  const char* name;
+  std::uint64_t base;
+  std::uint64_t span;
+};
+
+// -- serving engine (DESIGN.md §13) -----------------------------------------
+// Sites interleave two lanes from key_a = 0: per-user randomness on 2·site
+// (key_b = user_key; key_c = 0 the identity stream, key_c = e + 1 the epoch-e
+// measurement stream) and per-site churn on 2·site + 1 (key_b = 0, key_c = e
+// the epoch-e arrival count). Experiment drivers' trial streams share this
+// low region by construction (key_a = trial), which is safe because the
+// serving engine and the Monte-Carlo drivers never run under the same master
+// seed in one process — but every OTHER subsystem must stay clear of it.
+inline constexpr std::uint64_t kServeLaneBase = 0;
+inline constexpr std::uint64_t kServeLaneSpan = 1ULL << 33;  // 2^32 sites
+
+inline constexpr std::uint64_t serve_user_lane(std::uint64_t site) {
+  return kServeLaneBase + 2 * site;
+}
+inline constexpr std::uint64_t serve_churn_lane(std::uint64_t site) {
+  return kServeLaneBase + 2 * site + 1;
+}
+
+// -- fault injection (DESIGN.md §11) ----------------------------------------
+// Fault plans draw from key_a = kFaultLaneBase + entity (key_b = trial,
+// key_c = 0); fault::kFaultKeyBase aliases this constant.
+inline constexpr std::uint64_t kFaultLaneBase = 0xFA17'0000'0000'0000ULL;
+inline constexpr std::uint64_t kFaultLaneSpan = 1ULL << 32;
+
+// -- temporal tracking & mobility (DESIGN.md §15) ---------------------------
+// Channel evolution: epoch-k innovations of user u served by site s come
+// from stream(seed, kTemporalLaneBase + s, u, k) — one lane per site so a
+// handover re-enters a DIFFERENT site's evolution without replaying the old
+// one.
+inline constexpr std::uint64_t kTemporalLaneBase = 0x7E40'0000'0000'0000ULL;
+inline constexpr std::uint64_t kTemporalLaneSpan = 1ULL << 32;
+
+inline constexpr std::uint64_t temporal_lane(std::uint64_t site) {
+  return kTemporalLaneBase + site;
+}
+
+// Mobility trajectories: waypoint w of user u comes from
+// stream(seed, kTrajectoryLane, u, w). A single key_a value — users and
+// waypoints are the remaining two keys.
+inline constexpr std::uint64_t kTrajectoryLane = 0x7E41'0000'0000'0000ULL;
+
+// Base link identity of the (user, site) pair in a tracking run:
+// stream(seed, kTrackLinkLaneBase + site, user, 0) draws the path geometry
+// the evolution then perturbs.
+inline constexpr std::uint64_t kTrackLinkLaneBase = 0x7E42'0000'0000'0000ULL;
+inline constexpr std::uint64_t kTrackLinkLaneSpan = 1ULL << 32;
+
+inline constexpr std::uint64_t track_link_lane(std::uint64_t site) {
+  return kTrackLinkLaneBase + site;
+}
+
+// Tracker measurement noise: epoch-e probes of user u under tracker kind t
+// come from stream(seed, kTrackMeasureLaneBase + t, u, e). Keyed by tracker
+// so trackers draw INDEPENDENT measurement noise while grading against the
+// SAME channel evolution (the temporal lane above is tracker-blind).
+inline constexpr std::uint64_t kTrackMeasureLaneBase =
+    0x7E43'0000'0000'0000ULL;
+inline constexpr std::uint64_t kTrackMeasureLaneSpan = 1ULL << 32;
+
+inline constexpr std::uint64_t track_measure_lane(std::uint64_t tracker) {
+  return kTrackMeasureLaneBase + tracker;
+}
+
+/// The registry, one entry per reserved interval. Tests iterate this table;
+/// every new lane MUST be added here (and to the DESIGN.md §10 table).
+inline constexpr KeyLane kReservedLanes[] = {
+    {"serve", kServeLaneBase, kServeLaneSpan},
+    {"fault", kFaultLaneBase, kFaultLaneSpan},
+    {"temporal", kTemporalLaneBase, kTemporalLaneSpan},
+    {"trajectory", kTrajectoryLane, 1},
+    {"track_link", kTrackLinkLaneBase, kTrackLinkLaneSpan},
+    {"track_measure", kTrackMeasureLaneBase, kTrackMeasureLaneSpan},
+};
+
+}  // namespace mmw::randgen::lanes

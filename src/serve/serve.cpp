@@ -15,12 +15,14 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "randgen/keylanes.h"
 
 namespace mmw::serve {
 
 namespace {
 
-/// Key spaces of the serving streams (master seed = scenario.seed):
+/// Key spaces of the serving streams (master seed = scenario.seed), from
+/// the registry lane randgen/keylanes.h (kServeLaneBase):
 ///   key_a = 2·site      per-user randomness; key_b = user_key,
 ///                       key_c = 0 the identity stream (drop → channel →
 ///                       sojourn, replayable any epoch), key_c = e + 1 the
@@ -32,19 +34,22 @@ namespace {
 /// contract reduces to this key map.
 randgen::Rng identity_stream(std::uint64_t seed, index_t site,
                              std::uint64_t user_key) {
-  return randgen::Rng::stream(seed, 2 * static_cast<std::uint64_t>(site),
-                              user_key, 0);
+  return randgen::Rng::stream(
+      seed, randgen::lanes::serve_user_lane(site), user_key, 0);
 }
 randgen::Rng epoch_stream(std::uint64_t seed, index_t site,
                           std::uint64_t user_key, index_t epoch) {
-  return randgen::Rng::stream(seed, 2 * static_cast<std::uint64_t>(site),
+  return randgen::Rng::stream(seed, randgen::lanes::serve_user_lane(site),
                               user_key,
                               static_cast<std::uint64_t>(epoch) + 1);
 }
 randgen::Rng churn_stream(std::uint64_t seed, index_t site, index_t epoch) {
-  return randgen::Rng::stream(seed, 2 * static_cast<std::uint64_t>(site) + 1,
+  return randgen::Rng::stream(seed, randgen::lanes::serve_churn_lane(site),
                               0, static_cast<std::uint64_t>(epoch));
 }
+
+/// Window growth per re-alignment slot of the kNeighborhood probe policy.
+constexpr index_t kRealignWidenRadius = 2;
 
 /// serve.* telemetry, published once per tick from the MERGED frame on the
 /// calling thread — recording never happens inside shards, so obs on/off
@@ -367,19 +372,31 @@ void ServingEngine::step_align(index_t site, UserSession& s,
       }
     }
   }
-  // Exploration picks: a deterministic cursor sweep over the RX codebook
-  // (s.cursor already counts probes spent, so consecutive slots continue
-  // where the last stopped; the key offset decorrelates sessions). Unlike
-  // random draws this never re-probes a beam before wrapping, so a fresh
-  // session covers all N beams in ⌈N/J⌉ slots.
-  index_t cand = static_cast<index_t>(
-      (s.user_key + s.cursor) % static_cast<std::uint64_t>(n_rx));
-  while (ws.probe_rx.size() < j) {
-    while (std::find(ws.probe_rx.begin(), ws.probe_rx.end(), cand) !=
-           ws.probe_rx.end())
-      cand = (cand + 1) % n_rx;
-    ws.probe_rx.push_back(cand);
-    cand = (cand + 1) % n_rx;
+  // Exploration picks, by the configured probe policy (track/policy.h).
+  // The default cursor sweep (s.cursor counts probes spent, so consecutive
+  // slots continue where the last stopped; the key offset decorrelates
+  // sessions) never re-probes a beam before wrapping, so a fresh session
+  // covers all N beams in ⌈N/J⌉ slots — and is byte-identical to the
+  // pre-policy engine. A re-aligning session (realigns > 0) under
+  // kNeighborhood scans the widening window around its last claimed RX
+  // beam first — the PR-6 recovery shape — topping up from the cursor;
+  // kBanditUcb decorrelates exploration with the hash spread.
+  switch (config_.probe_policy) {
+    case track::ProbePolicy::kNeighborhood:
+      if (s.realigns > 0) {
+        const index_t radius =
+            (static_cast<index_t>(s.slots_aligned) + 1) * kRealignWidenRadius;
+        track::append_neighborhood_probes(s.rx_beam, radius, n_rx, j,
+                                          ws.probe_rx);
+      }
+      track::append_cursor_probes(s.user_key, s.cursor, n_rx, j, ws.probe_rx);
+      break;
+    case track::ProbePolicy::kBanditUcb:
+      track::append_spread_probes(s.user_key, s.cursor, n_rx, j, ws.probe_rx);
+      break;
+    case track::ProbePolicy::kCursorSweep:
+      track::append_cursor_probes(s.user_key, s.cursor, n_rx, j, ws.probe_rx);
+      break;
   }
   // Canonical measurement order (ascending RX index): the probe loop's
   // draw sequence and the update list's order are both pinned by it.

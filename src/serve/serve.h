@@ -52,6 +52,7 @@
 #include "serve/slab.h"
 #include "sim/scenario.h"
 #include "sim/topology.h"
+#include "track/policy.h"
 
 namespace mmw::serve {
 
@@ -125,6 +126,15 @@ struct ServeConfig {
   real blockage_probability = 0.0;
 
   EstimatorKind estimator = EstimatorKind::kBeamSpace;
+
+  /// How alignment slots pick their exploration probes (track/policy.h).
+  /// The default cursor sweep is the legacy PR-9 behavior — every golden
+  /// E9 byte is unchanged unless a non-default policy is selected. The
+  /// non-default policies make re-aligning residents behave like the
+  /// corresponding trackers: kNeighborhood re-scans a widening window
+  /// around the last claimed RX beam, kBanditUcb spreads exploration
+  /// probes by hash instead of sequentially.
+  track::ProbePolicy probe_policy = track::ProbePolicy::kCursorSweep;
 
   /// Sessions per slab — the allocator grain AND the step-shard grain.
   index_t session_block = 4096;

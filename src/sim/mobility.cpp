@@ -1,0 +1,94 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmw::sim {
+
+Trajectory::Trajectory(const Topology& topology, real speed_mps,
+                       real epoch_seconds, std::uint64_t seed,
+                       std::uint64_t user)
+    : speed_(speed_mps),
+      epoch_seconds_(epoch_seconds),
+      seed_(seed),
+      user_(user) {
+  MMW_REQUIRE(speed_mps >= 0.0);
+  MMW_REQUIRE(epoch_seconds >= 0.0);
+  const real r = topology.config().cell_radius_m;
+  min_x_ = max_x_ = topology.site(0).x;
+  min_y_ = max_y_ = topology.site(0).y;
+  for (index_t c = 0; c < topology.n_cells(); ++c) {
+    min_x_ = std::min(min_x_, topology.site(c).x);
+    max_x_ = std::max(max_x_, topology.site(c).x);
+    min_y_ = std::min(min_y_, topology.site(c).y);
+    max_y_ = std::max(max_y_, topology.site(c).y);
+  }
+  min_x_ -= r;
+  max_x_ += r;
+  min_y_ -= r;
+  max_y_ += r;
+  waypoints_.push_back(draw_waypoint(0));
+  cumulative_m_.push_back(0.0);
+}
+
+UserPlacement Trajectory::draw_waypoint(index_t w) const {
+  randgen::Rng rng = randgen::Rng::stream(
+      seed_, randgen::lanes::kTrajectoryLane, user_,
+      static_cast<std::uint64_t>(w));
+  return {rng.uniform(min_x_, max_x_), rng.uniform(min_y_, max_y_)};
+}
+
+void Trajectory::ensure_waypoints(real distance) const {
+  while (cumulative_m_.back() <= distance) {
+    const UserPlacement next = draw_waypoint(waypoints_.size());
+    const UserPlacement& prev = waypoints_.back();
+    const real leg = std::hypot(next.x - prev.x, next.y - prev.y);
+    // A zero-length leg (astronomically unlikely but possible) would stall
+    // the walk; skip ahead on the same stream index sequence by nudging the
+    // cumulative length so the loop always progresses.
+    waypoints_.push_back(next);
+    cumulative_m_.push_back(cumulative_m_.back() + std::max(leg, 1e-9));
+  }
+}
+
+UserPlacement Trajectory::position_at(index_t epoch) const {
+  const real distance =
+      speed_ * epoch_seconds_ * static_cast<real>(epoch);
+  ensure_waypoints(distance);
+  // Find the leg containing `distance`: cumulative_m_[w] ≤ d < [w+1].
+  const auto it = std::upper_bound(cumulative_m_.begin(), cumulative_m_.end(),
+                                   distance);
+  const index_t leg = static_cast<index_t>(it - cumulative_m_.begin()) - 1;
+  const UserPlacement& a = waypoints_[leg];
+  const UserPlacement& b = waypoints_[leg + 1];
+  const real len = cumulative_m_[leg + 1] - cumulative_m_[leg];
+  const real t = (distance - cumulative_m_[leg]) / len;
+  return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+index_t nearest_site(const Topology& topology, const UserPlacement& position) {
+  index_t best = 0;
+  real best_gain = topology.pathloss_gain(0, position);
+  for (index_t c = 1; c < topology.n_cells(); ++c) {
+    const real g = topology.pathloss_gain(c, position);
+    if (g > best_gain) {  // ties → lowest index
+      best = c;
+      best_gain = g;
+    }
+  }
+  return best;
+}
+
+index_t select_serving_site(const Topology& topology,
+                            const UserPlacement& position, index_t current,
+                            real hysteresis_db) {
+  MMW_REQUIRE(current < topology.n_cells());
+  const index_t best = nearest_site(topology, position);
+  if (best == current) return current;
+  const real margin =
+      10.0 * std::log10(topology.pathloss_gain(best, position) /
+                        topology.pathloss_gain(current, position));
+  return margin > hysteresis_db ? best : current;
+}
+
+}  // namespace mmw::sim

@@ -1,0 +1,79 @@
+// User mobility over a sim::Topology: seeded piecewise-linear trajectories
+// across the deployment plane, plus hysteresis-gated serving-site selection
+// — the geometry half of the temporal tracking layer (src/track/).
+//
+// Determinism contract: a Trajectory is a pure function of
+// (topology bounds, speed, epoch_seconds, seed, user). Waypoint w is drawn
+// from the reserved trajectory lane Rng::stream(seed, kTrajectoryLane,
+// user, w) — two uniforms per waypoint, nothing else — so position_at(e)
+// returns bit-identical coordinates regardless of call order, thread, or
+// which other users exist. The waypoint cache only ever APPENDS values that
+// are pure functions of the keys, so caching is invisible to callers.
+//
+// Thread-safety: const queries mutate the internal waypoint cache, so one
+// Trajectory must not be shared across threads. The tracking engine builds
+// one per (tracker, user) shard; they are cheap (a handful of waypoints).
+#pragma once
+
+#include <vector>
+
+#include "randgen/keylanes.h"
+#include "sim/topology.h"
+
+namespace mmw::sim {
+
+/// Mobility knobs of one tracking run. Speed lives here (not on
+/// channel::EvolutionConfig) so one value drives BOTH the trajectory and
+/// the channel evolution; run_tracking copies it across.
+struct MobilityConfig {
+  real speed_mps = 1.4;     ///< walking default
+  real epoch_seconds = 0.5;
+  /// Serving-site switch margin: a candidate site must beat the current
+  /// one by this many dB of pathloss gain before a handover fires. 0
+  /// degenerates to nearest-site selection (the ping-pong regime the
+  /// hysteresis test crafts).
+  real hysteresis_db = 3.0;
+};
+
+/// A seeded piecewise-linear walk: waypoints are drawn uniformly on the
+/// deployment bounding box (sites inflated by cell_radius_m) and the user
+/// moves between consecutive waypoints at constant speed. Waypoint 0 is the
+/// starting position.
+class Trajectory {
+ public:
+  /// Preconditions: speed ≥ 0, epoch_seconds ≥ 0.
+  Trajectory(const Topology& topology, real speed_mps, real epoch_seconds,
+             std::uint64_t seed, std::uint64_t user);
+
+  /// Position after e epochs of travel (speed·epoch_seconds·e meters along
+  /// the waypoint chain). Pure: any call order yields identical results.
+  UserPlacement position_at(index_t epoch) const;
+
+  real speed_mps() const { return speed_; }
+  real epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  void ensure_waypoints(real distance) const;
+  UserPlacement draw_waypoint(index_t w) const;
+
+  real speed_ = 0.0;
+  real epoch_seconds_ = 0.0;
+  real min_x_ = 0.0, max_x_ = 0.0, min_y_ = 0.0, max_y_ = 0.0;
+  std::uint64_t seed_ = 0, user_ = 0;
+  mutable std::vector<UserPlacement> waypoints_;
+  mutable std::vector<real> cumulative_m_;  ///< path length up to waypoint w
+};
+
+/// The site with the largest pathloss gain at `position` (nearest site
+/// under the power law); ties break toward the lowest site index.
+index_t nearest_site(const Topology& topology, const UserPlacement& position);
+
+/// Hysteresis-gated serving-site selection: returns the best site only when
+/// its pathloss gain beats the current site's by more than hysteresis_db;
+/// otherwise keeps `current`. Ties break toward the lowest site index.
+/// Precondition: current < topology.n_cells().
+index_t select_serving_site(const Topology& topology,
+                            const UserPlacement& position, index_t current,
+                            real hysteresis_db);
+
+}  // namespace mmw::sim

@@ -1,0 +1,96 @@
+// The reserved key-lane registry (randgen/keylanes.h): the table must stay
+// pairwise disjoint — a lane collision silently correlates two subsystems'
+// streams, which no other test would catch until a statistic drifted.
+#include "randgen/keylanes.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+
+#include "fault/fault.h"
+#include "randgen/rng.h"
+
+namespace mmw::randgen::lanes {
+namespace {
+
+constexpr std::size_t kLaneCount =
+    sizeof(kReservedLanes) / sizeof(kReservedLanes[0]);
+
+TEST(KeyLanesTest, RegistryCoversEveryNamedLane) {
+  // Adding a lane constant without a registry row defeats the overlap
+  // check; this pins the table length to the six reserved lanes.
+  EXPECT_EQ(kLaneCount, 6u);
+}
+
+TEST(KeyLanesTest, SpansArePositiveAndDoNotWrap) {
+  for (const KeyLane& lane : kReservedLanes) {
+    SCOPED_TRACE(lane.name);
+    EXPECT_GT(lane.span, 0u);
+    EXPECT_LE(lane.span,
+              std::numeric_limits<std::uint64_t>::max() - lane.base);
+  }
+}
+
+TEST(KeyLanesTest, LanesArePairwiseDisjoint) {
+  // Table-driven: every pair of [base, base + span) intervals.
+  for (std::size_t i = 0; i < kLaneCount; ++i)
+    for (std::size_t j = i + 1; j < kLaneCount; ++j) {
+      const KeyLane& a = kReservedLanes[i];
+      const KeyLane& b = kReservedLanes[j];
+      SCOPED_TRACE(std::string(a.name) + " vs " + b.name);
+      const bool disjoint =
+          a.base + a.span <= b.base || b.base + b.span <= a.base;
+      EXPECT_TRUE(disjoint)
+          << a.name << " [" << a.base << ", " << a.base + a.span << ") and "
+          << b.name << " [" << b.base << ", " << b.base + b.span
+          << ") overlap";
+    }
+}
+
+TEST(KeyLanesTest, HelpersLandInsideTheirLane) {
+  const std::uint64_t site = 12345, user = 678, tracker = 3;
+  EXPECT_GE(serve_user_lane(site), kServeLaneBase);
+  EXPECT_LT(serve_user_lane(site), kServeLaneBase + kServeLaneSpan);
+  EXPECT_GE(serve_churn_lane(site), kServeLaneBase);
+  EXPECT_LT(serve_churn_lane(site), kServeLaneBase + kServeLaneSpan);
+  EXPECT_GE(temporal_lane(site), kTemporalLaneBase);
+  EXPECT_LT(temporal_lane(site), kTemporalLaneBase + kTemporalLaneSpan);
+  EXPECT_GE(track_link_lane(site), kTrackLinkLaneBase);
+  EXPECT_LT(track_link_lane(site), kTrackLinkLaneBase + kTrackLinkLaneSpan);
+  EXPECT_GE(track_measure_lane(tracker), kTrackMeasureLaneBase);
+  EXPECT_LT(track_measure_lane(tracker),
+            kTrackMeasureLaneBase + kTrackMeasureLaneSpan);
+  (void)user;
+}
+
+TEST(KeyLanesTest, ServeLanesInterleaveWithoutCollision) {
+  // user/churn lanes of the same and adjacent sites never collide.
+  for (std::uint64_t site = 0; site < 64; ++site) {
+    EXPECT_NE(serve_user_lane(site), serve_churn_lane(site));
+    EXPECT_NE(serve_user_lane(site + 1), serve_churn_lane(site));
+    EXPECT_NE(serve_user_lane(site), serve_user_lane(site + 1));
+  }
+}
+
+TEST(KeyLanesTest, FaultModuleAliasesTheRegistryBase) {
+  // fault::kFaultKeyBase predates the registry; it must stay the same
+  // value so the registry's interval actually covers the fault streams.
+  EXPECT_EQ(fault::kFaultKeyBase, kFaultLaneBase);
+}
+
+TEST(KeyLanesTest, DistinctLanesYieldDistinctStreams) {
+  // Spot-check the property the registry exists for: streams keyed from
+  // different lanes (same seed/key_b/key_c) decorrelate immediately.
+  const std::uint64_t seed = 20160610;
+  for (std::size_t i = 0; i < kLaneCount; ++i)
+    for (std::size_t j = i + 1; j < kLaneCount; ++j) {
+      Rng a = Rng::stream(seed, kReservedLanes[i].base, 7, 9);
+      Rng b = Rng::stream(seed, kReservedLanes[j].base, 7, 9);
+      EXPECT_NE(a.uniform(), b.uniform())
+          << kReservedLanes[i].name << " vs " << kReservedLanes[j].name;
+    }
+}
+
+}  // namespace
+}  // namespace mmw::randgen::lanes

@@ -1,0 +1,194 @@
+// track::run_tracking — the E10 engine. The load-bearing contracts:
+// rendered CSVs are byte-identical across thread counts and obs on/off,
+// handovers fire under mobility (and identically for every tracker), and
+// the warm trackers spend fewer probes than the cold-start baseline at
+// pedestrian speed (the tracking layer's reason to exist).
+#include "track/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace mmw::track {
+namespace {
+
+TrackingConfig tiny_config() {
+  TrackingConfig cfg;
+  cfg.scenario.channel = sim::ChannelKind::kNycMultipath;
+  cfg.scenario.tx_grid_x = 2;
+  cfg.scenario.tx_grid_y = 2;
+  cfg.scenario.rx_grid_x = 4;
+  cfg.scenario.rx_grid_y = 4;
+  cfg.scenario.fades_per_measurement = 4;
+  cfg.scenario.gamma = 1000.0;
+  cfg.scenario.seed = 20160610;
+  cfg.topology.cells = 7;
+  cfg.topology.cell_radius_m = 100.0;
+  cfg.users = 4;
+  cfg.epochs = 16;
+  cfg.warmup_epochs = 4;
+  cfg.mobility.speed_mps = 1.4;
+  cfg.evolution.shadow_sigma_db = 2.0;
+  cfg.evolution.blockage_onset_per_meter = 0.002;
+  return cfg;
+}
+
+const std::vector<TrackerKind> kAllKinds{
+    TrackerKind::kColdStart, TrackerKind::kWarmMl,
+    TrackerKind::kNeighborhood, TrackerKind::kBanditUcb};
+
+std::string csv_at_threads(TrackingConfig cfg, index_t threads) {
+  cfg.scenario.threads = threads;
+  const TrackingResult r = run_tracking(cfg, kAllKinds);
+  return render_tracking_csv("speed_mps", {cfg.mobility.speed_mps}, {r});
+}
+
+TEST(TrackingEngineTest, CsvByteIdenticalAcrossThreadCounts) {
+  const TrackingConfig cfg = tiny_config();
+  const std::string serial = csv_at_threads(cfg, 1);
+  EXPECT_EQ(csv_at_threads(cfg, 2), serial);
+  EXPECT_EQ(csv_at_threads(cfg, 4), serial);
+  EXPECT_EQ(csv_at_threads(cfg, 0), serial);  // auto
+}
+
+TEST(TrackingEngineTest, CsvByteIdenticalAcrossObsToggle) {
+  const TrackingConfig cfg = tiny_config();
+  const bool was = obs::enabled();
+  obs::set_enabled(true);
+  const std::string on = csv_at_threads(cfg, 2);
+  obs::set_enabled(false);
+  const std::string off = csv_at_threads(cfg, 2);
+  obs::set_enabled(was);
+  EXPECT_EQ(on, off);
+}
+
+TEST(TrackingEngineTest, ResultShapeMatchesRequest) {
+  const TrackingConfig cfg = tiny_config();
+  const TrackingResult r = run_tracking(cfg, kAllKinds);
+  ASSERT_EQ(r.trackers.size(), kAllKinds.size());
+  EXPECT_EQ(r.trackers[0].name, "cold_start");
+  EXPECT_EQ(r.trackers[1].name, "warm_ml");
+  EXPECT_EQ(r.trackers[2].name, "neighborhood");
+  EXPECT_EQ(r.trackers[3].name, "bandit_ucb");
+  const std::uint64_t steady =
+      static_cast<std::uint64_t>(cfg.users) *
+      (cfg.epochs - cfg.warmup_epochs);
+  for (const TrackerCaseResult& t : r.trackers) {
+    SCOPED_TRACE(t.name);
+    EXPECT_EQ(t.steady_epochs, steady);
+    EXPECT_GE(t.mean_loss_db, 0.0);
+    EXPECT_LE(t.p50_loss_db, t.p99_loss_db + 1e-9);
+    EXPECT_LE(t.p99_loss_db, t.max_loss_db + 1e-9);
+    EXPECT_GT(t.probes_total, 0u);
+    EXPECT_GE(t.realign_rate, 0.0);
+    EXPECT_LE(t.realign_rate, 1.0);
+    EXPECT_GE(t.outage_rate, 0.0);
+    EXPECT_LE(t.outage_rate, 1.0);
+  }
+  // Cold start re-aligns by definition every epoch.
+  EXPECT_DOUBLE_EQ(r.trackers[0].realign_rate, 1.0);
+}
+
+TEST(TrackingEngineTest, WarmTrackersBeatColdStartProbeBudget) {
+  // The acceptance claim of ISSUE 10, at pedestrian speed: warm-start and
+  // bandit tracking spend strictly fewer probes per epoch than re-aligning
+  // from scratch.
+  TrackingConfig cfg = tiny_config();
+  cfg.epochs = 24;
+  cfg.warmup_epochs = 8;
+  const TrackingResult r = run_tracking(cfg, kAllKinds);
+  const real cold = r.trackers[0].probes_per_epoch;
+  EXPECT_LT(r.trackers[1].probes_per_epoch, cold) << "warm_ml";
+  EXPECT_LT(r.trackers[3].probes_per_epoch, cold) << "bandit_ucb";
+}
+
+TEST(TrackingEngineTest, MobilityDrivesHandovers) {
+  // At train speed over a multi-site deployment some user crosses a cell
+  // boundary within the run; at zero speed nobody can.
+  TrackingConfig cfg = tiny_config();
+  cfg.mobility.speed_mps = 33.3;
+  cfg.epochs = 32;
+  cfg.warmup_epochs = 8;
+  cfg.users = 6;
+  const TrackingResult moving =
+      run_tracking(cfg, {TrackerKind::kNeighborhood});
+  EXPECT_GT(moving.handovers_per_user, 0.0);
+
+  cfg.mobility.speed_mps = 0.0;
+  cfg.evolution.speed_mps = 0.0;
+  const TrackingResult still =
+      run_tracking(cfg, {TrackerKind::kNeighborhood});
+  EXPECT_DOUBLE_EQ(still.handovers_per_user, 0.0);
+}
+
+TEST(TrackingEngineTest, RepeatRunsAreDeterministic) {
+  const TrackingConfig cfg = tiny_config();
+  const TrackingResult a = run_tracking(cfg, kAllKinds);
+  const TrackingResult b = run_tracking(cfg, kAllKinds);
+  ASSERT_EQ(a.trackers.size(), b.trackers.size());
+  EXPECT_EQ(a.handovers_per_user, b.handovers_per_user);
+  for (std::size_t i = 0; i < a.trackers.size(); ++i) {
+    EXPECT_EQ(a.trackers[i].mean_loss_db, b.trackers[i].mean_loss_db);
+    EXPECT_EQ(a.trackers[i].p99_loss_db, b.trackers[i].p99_loss_db);
+    EXPECT_EQ(a.trackers[i].probes_total, b.trackers[i].probes_total);
+    EXPECT_EQ(a.trackers[i].realign_rate, b.trackers[i].realign_rate);
+  }
+}
+
+TEST(TrackingEngineTest, CsvShapeAndHeader) {
+  const TrackingConfig cfg = tiny_config();
+  const TrackingResult r = run_tracking(cfg, {TrackerKind::kWarmMl});
+  const std::string csv =
+      render_tracking_csv("speed_mps", {1.4}, {r});
+  EXPECT_EQ(csv.find("speed_mps,warm_ml_loss_db,warm_ml_p99_loss_db,"
+                     "warm_ml_realign_rate,warm_ml_probes_per_epoch,"
+                     "handovers_per_user\n"),
+            0u);
+  // One header + one data row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(TrackingEngineTest, ObsMetricsPublishOnceFromMergedTotals) {
+  const bool was = obs::enabled();
+  obs::set_enabled(true);
+  auto& reg = obs::Registry::global();
+  const obs::MetricsSnapshot before = reg.snapshot();
+  const auto counter_of = [](const obs::MetricsSnapshot& s,
+                             const char* name) -> std::uint64_t {
+    const auto it = s.counters.find(name);
+    return it == s.counters.end() ? 0 : it->second.value;
+  };
+  const std::uint64_t epochs_before = counter_of(before, "track.epochs");
+  const std::uint64_t probes_before = counter_of(before, "track.probes");
+  const TrackingConfig cfg = tiny_config();
+  const TrackingResult r = run_tracking(cfg, kAllKinds);
+  const obs::MetricsSnapshot after = reg.snapshot();
+  const std::uint64_t epochs_after = counter_of(after, "track.epochs");
+  const std::uint64_t probes_after = counter_of(after, "track.probes");
+  obs::set_enabled(was);
+  EXPECT_EQ(epochs_after - epochs_before,
+            static_cast<std::uint64_t>(cfg.users) * cfg.epochs *
+                kAllKinds.size());
+  std::uint64_t probes_total = 0;
+  for (const TrackerCaseResult& t : r.trackers) probes_total += t.probes_total;
+  EXPECT_EQ(probes_after - probes_before, probes_total);
+}
+
+TEST(TrackingEngineTest, ValidatesConfig) {
+  TrackingConfig cfg = tiny_config();
+  cfg.users = 0;
+  EXPECT_THROW(run_tracking(cfg, kAllKinds), precondition_error);
+  cfg = tiny_config();
+  cfg.warmup_epochs = cfg.epochs;
+  EXPECT_THROW(run_tracking(cfg, kAllKinds), precondition_error);
+  cfg = tiny_config();
+  EXPECT_THROW(run_tracking(cfg, {}), precondition_error);
+}
+
+}  // namespace
+}  // namespace mmw::track
